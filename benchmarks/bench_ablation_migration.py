@@ -1,0 +1,96 @@
+"""Experiment A1 — ablation: automatic home node migration.
+
+Section 4.4 of the paper: migration exists to cut synchronisation
+traffic, and both historical errors live in its race windows. This
+ablation quantifies what migration costs in verification terms: state
+space size with and without migration, and the disappearance of both
+bugs when it is disabled.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.jackal import CONFIG_1, CONFIG_2, JackalModel, ProtocolVariant
+from repro.jackal.requirements import (
+    check_requirement_1,
+    check_requirement_3_2,
+)
+from repro.lts.explore import explore
+
+CYCLIC_C1 = dataclasses.replace(CONFIG_1, rounds=None)
+
+
+@pytest.mark.benchmark(group="ablation-migration")
+def test_state_space_with_and_without_migration(once):
+    def run():
+        rows = []
+        for cfg_name, cfg in (("C1", CONFIG_1), ("C2", CONFIG_2)):
+            c = dataclasses.replace(cfg, rounds=1, with_probes=False)
+            for variant, tag in (
+                (ProtocolVariant.fixed(), "migration on"),
+                (ProtocolVariant.no_migration(), "migration off"),
+            ):
+                lts = explore(JackalModel(c, variant))
+                rows.append({
+                    "config": cfg_name, "variant": tag,
+                    "states": lts.n_states, "transitions": lts.n_transitions,
+                })
+        return rows
+
+    rows = once(run)
+    by_key = {(r["config"], r["variant"]): r["states"] for r in rows}
+    assert by_key[("C1", "migration off")] < by_key[("C1", "migration on")]
+    assert by_key[("C2", "migration off")] < by_key[("C2", "migration on")]
+    print()
+    print(Table("state space, migration on vs off",
+                ["config", "variant", "states", "transitions"], rows).render())
+
+
+@pytest.mark.benchmark(group="ablation-migration")
+def test_error1_needs_migration(once):
+    # even with the Error-1 code path (no fault-lock recheck), disabling
+    # migration makes the deadlock unreachable
+    variant = ProtocolVariant(
+        fault_lock_recheck=False,
+        sponmigrate_informs_threads=True,
+        home_migration=False,
+    )
+    rep = once(check_requirement_1, CYCLIC_C1, variant)
+    assert rep.holds
+    print(f"\nE1 path without migration: {rep.summary()}")
+
+
+@pytest.mark.benchmark(group="ablation-migration")
+def test_error2_needs_migration(once):
+    variant = ProtocolVariant(
+        fault_lock_recheck=True,
+        sponmigrate_informs_threads=False,
+        home_migration=False,
+    )
+    rep = once(check_requirement_3_2, CONFIG_2, variant)
+    assert rep.holds
+    print(f"\nE2 path without migration: {rep.summary()}")
+
+
+@pytest.mark.benchmark(group="ablation-migration")
+def test_migration_traffic_mix(once):
+    from repro.jackal.statistics import protocol_statistics
+
+    def run():
+        lts = explore(
+            JackalModel(
+                dataclasses.replace(CONFIG_2, rounds=1, with_probes=False),
+                ProtocolVariant.fixed(),
+            )
+        )
+        return protocol_statistics(lts)
+
+    stats = once(run)
+    assert stats.migrations > 0
+    assert stats.count("bug_path") == 0
+    print()
+    print(Table("traffic mix, config 2 (fixed)",
+                ["category", "transitions", "share"],
+                stats.as_rows()).render())

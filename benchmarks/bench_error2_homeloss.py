@@ -1,0 +1,62 @@
+"""Experiment E2 — Section 5.4.3: the lost-home race (Requirement 3.2).
+
+The paper: "A second error in the implementation of the protocol was
+found while model checking this property on a configuration of two
+processors, with two threads running on one processor and a third
+thread on the other. ... In the resulting state of the protocol,
+neither of the two processors is the home of the region. ... After
+fixing this problem as proposed, property 3.2 was successfully model
+checked."
+
+Rows regenerated: the 3.2 verdict for the pre-fix and fixed protocols on
+configuration 2, the witness length, and the 3.1 verdict (which must
+stay green — the bug loses the home, it does not duplicate it).
+"""
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.jackal import CONFIG_2, ProtocolVariant
+from repro.jackal.requirements import (
+    check_requirement_3_1,
+    check_requirement_3_2,
+)
+
+
+@pytest.mark.benchmark(group="error2")
+def test_error2_violation_found(once):
+    rep = once(check_requirement_3_2, CONFIG_2, ProtocolVariant.error2())
+    assert not rep.holds
+    assert rep.trace is not None
+    print()
+    print(Table("E2: pre-fix protocol (config 2)",
+                ["property", "verdict", "witness_len", "states"],
+                [{
+                    "property": "3.2 stable-state copies",
+                    "verdict": "VIOLATED (paper: error found)",
+                    "witness_len": len(rep.trace),
+                    "states": rep.lts_states,
+                }]).render())
+
+
+@pytest.mark.benchmark(group="error2")
+def test_error2_fixed_protocol_clean(once):
+    rep = once(check_requirement_3_2, CONFIG_2, ProtocolVariant.fixed())
+    assert rep.holds
+    print()
+    print(f"E2 fixed: {rep.summary()} (paper: successfully model checked)")
+
+
+@pytest.mark.benchmark(group="error2")
+def test_error2_one_home_property_unaffected(once):
+    rep = once(check_requirement_3_1, CONFIG_2, ProtocolVariant.error2())
+    assert rep.holds
+
+
+@pytest.mark.benchmark(group="error2")
+def test_error2_witness_shows_the_race(once):
+    rep = once(check_requirement_3_2, CONFIG_2, ProtocolVariant.error2())
+    labels = rep.trace.labels
+    mig = min(i for i, l in enumerate(labels) if l.startswith("recv_sponmigrate"))
+    sig = max(i for i, l in enumerate(labels) if l.startswith("signal"))
+    assert mig < sig  # sponmigrate processed before the stale Data Return

@@ -1,0 +1,46 @@
+"""Experiment F (extension) — JMM conformance of the DSM runtime.
+
+The paper's future work: "verifying whether the cache coherence
+protocol implements the JMM in [9, Chapter 17]". Benchmarks the litmus
+conformance sweep (abstract-JMM outcome enumeration vs the simulated
+Jackal runtime) and asserts the headline facts per test.
+"""
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.jmm import LITMUS_TESTS, run_conformance
+
+
+@pytest.mark.benchmark(group="jmm")
+def test_full_conformance_sweep(once):
+    def run():
+        return [run_conformance(t) for t in LITMUS_TESTS()]
+
+    results = once(run)
+    assert all(r.conforms for r in results)
+    print()
+    print(Table(
+        "JMM conformance sweep",
+        ["test", "jmm", "dsm", "conforms"],
+        [{"test": r.test, "jmm": len(r.jmm_outcomes),
+          "dsm": len(r.dsm_outcomes), "conforms": r.conforms}
+         for r in results],
+    ).render())
+
+
+@pytest.mark.benchmark(group="jmm")
+def test_relaxed_behaviours_exhibited(once):
+    from repro.jmm.litmus import store_buffering
+
+    res = once(run_conformance, store_buffering())
+    # the runtime is genuinely weaker than sequential consistency
+    assert (0, 0) in res.dsm_outcomes
+
+
+@pytest.mark.benchmark(group="jmm")
+def test_synchronised_tests_sequential(once):
+    from repro.jmm.litmus import dekker_sync
+
+    res = once(run_conformance, dekker_sync())
+    assert res.dsm_outcomes == {(1, 0), (0, 1)}

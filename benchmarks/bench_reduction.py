@@ -1,0 +1,97 @@
+"""Experiment A3 — behavioural reduction on protocol LTSs.
+
+The paper's pipeline handed generated LTSs to CADP, where bisimulation
+reduction is the standard preprocessing step ("more advanced tools are
+needed to generate, store and reduce LTSs", Section 6). This benchmark
+measures how much strong and branching bisimulation compress the
+protocol's LTSs once uninteresting actions are hidden.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.jackal import CONFIG_1, JackalModel, ProtocolVariant
+from repro.jackal.actions import Labels
+from repro.lts.explore import explore
+from repro.lts.reduction import minimize_branching, minimize_strong
+
+CFG = dataclasses.replace(CONFIG_1, rounds=1, with_probes=False)
+
+#: the observable alphabet of the requirements: thread-level events
+_KEEP_PREFIXES = ("write(", "writeover(", "flush(", "flushover(")
+
+
+def _protocol_lts():
+    return explore(JackalModel(CFG, ProtocolVariant.fixed()))
+
+
+def _hidden(lts):
+    hide = [
+        l for l in lts.labels if not l.startswith(_KEEP_PREFIXES)
+    ]
+    return lts.hidden(hide)
+
+
+@pytest.mark.benchmark(group="reduction")
+def test_strong_minimisation(once):
+    lts = _protocol_lts()
+    reduced = once(minimize_strong, lts)
+    assert reduced.n_states <= lts.n_states
+    print(f"\nstrong: {lts.n_states} -> {reduced.n_states} states")
+
+
+@pytest.mark.benchmark(group="reduction")
+def test_branching_minimisation_after_hiding(once):
+    lts = _hidden(_protocol_lts())
+    reduced = once(minimize_branching, lts)
+    # hiding the protocol machinery leaves only thread-level behaviour;
+    # branching reduction must compress dramatically
+    assert reduced.n_states < lts.n_states / 5
+    print(
+        f"\nbranching (thread alphabet): {lts.n_states} -> "
+        f"{reduced.n_states} states, {reduced.n_transitions} transitions"
+    )
+
+
+@pytest.mark.benchmark(group="reduction")
+def test_reduction_preserves_thread_events(once):
+    lts = _hidden(_protocol_lts())
+
+    def run():
+        return minimize_branching(lts)
+
+    reduced = once(run)
+    visible = {l for l in reduced.labels if l != "tau"}
+    expected = set()
+    for t in range(CFG.n_threads):
+        expected |= {
+            Labels.write(t), Labels.writeover(t),
+            Labels.flush(t), Labels.flushover(t),
+        }
+    assert visible == expected
+
+
+@pytest.mark.benchmark(group="reduction")
+def test_reduction_table(once):
+    def run():
+        rows = []
+        lts = _protocol_lts()
+        strong = minimize_strong(lts)
+        hidden = _hidden(lts)
+        branching = minimize_branching(hidden)
+        rows.append({"step": "generated", "states": lts.n_states,
+                     "transitions": lts.n_transitions})
+        rows.append({"step": "strong bisim", "states": strong.n_states,
+                     "transitions": strong.n_transitions})
+        rows.append({"step": "hide protocol actions + branching bisim",
+                     "states": branching.n_states,
+                     "transitions": branching.n_transitions})
+        return rows
+
+    rows = once(run)
+    assert rows[-1]["states"] < rows[0]["states"]
+    print()
+    print(Table("reduction pipeline on config 1", ["step", "states",
+                "transitions"], rows).render())

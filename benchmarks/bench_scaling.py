@@ -1,0 +1,86 @@
+"""Experiment T8-cfg — Section 5.5's scaling observation.
+
+"Due to the complexity of this protocol, the size of the LTS grows very
+rapidly with respect to the number of threads and processors."
+
+Regenerates the state/transition growth series along both axes
+(processors with one thread each; threads on a fixed two-processor
+system) and asserts the super-linear growth the paper reports.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.jackal import Config, JackalModel, ProtocolVariant
+from repro.lts.explore import ExplorationStats, explore
+
+
+def _measure(threads_per_processor):
+    cfg = Config(
+        threads_per_processor=threads_per_processor,
+        rounds=1,
+        with_probes=False,
+    )
+    st = ExplorationStats()
+    explore(JackalModel(cfg, ProtocolVariant.fixed()), stats=st)
+    return {
+        "topology": cfg.describe(),
+        "states": st.states,
+        "transitions": st.transitions,
+        "seconds": round(st.seconds, 2),
+    }
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_growth_in_processors(once):
+    def run():
+        return [_measure((1,) * p) for p in (1, 2, 3, 4)]
+
+    rows = once(run)
+    states = [r["states"] for r in rows]
+    # rapid growth: each extra processor multiplies the state count
+    assert states[1] > 4 * states[0]
+    assert states[2] > 4 * states[1]
+    assert states[3] > 4 * states[2]
+    print()
+    print(Table("growth in processors (1 thread each, 1 round)",
+                ["topology", "states", "transitions", "seconds"], rows).render())
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_growth_in_threads(once):
+    def run():
+        return [
+            _measure(tpp) for tpp in ((1, 1), (2, 1), (2, 2), (3, 2))
+        ]
+
+    rows = once(run)
+    states = [r["states"] for r in rows]
+    assert states[1] > 3 * states[0]
+    assert states[2] > 3 * states[1]
+    assert states[3] > 2 * states[2]
+    print()
+    print(Table("growth in threads (2 processors, 1 round)",
+                ["topology", "states", "transitions", "seconds"], rows).render())
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_growth_in_rounds(once):
+    def run():
+        rows = []
+        for rounds in (1, 2, 3):
+            cfg = Config(threads_per_processor=(1, 1), rounds=rounds,
+                         with_probes=False)
+            st = ExplorationStats()
+            explore(JackalModel(cfg, ProtocolVariant.fixed()), stats=st)
+            rows.append({"rounds": rounds, "states": st.states,
+                         "transitions": st.transitions})
+        return rows
+
+    rows = once(run)
+    assert rows[1]["states"] > 5 * rows[0]["states"]
+    print()
+    print(Table("growth in rounds (config 1)",
+                ["rounds", "states", "transitions"], rows).render())

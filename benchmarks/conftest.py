@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one experiment of the paper (see DESIGN.md's
+per-experiment index) and *prints* the rows it reproduces, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+yields the reproduction report alongside the timings. State-space
+generation is expensive, so benchmarks use ``benchmark.pedantic`` with a
+single round instead of pytest-benchmark's auto-calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one measured execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Error 2, end to end: the Region Sponmigrate / Data Return race.
+
+Reproduces Section 5.4.3 of the paper: model checking the property
+
+    <T*> (<c_copy>T /\\ <lock_empty>T /\\ <homequeue_empty>T
+          /\\ <remotequeue_empty>T)
+
+on a configuration with two threads on one processor and a third on the
+other finds a *stable* state in which neither processor is the home of
+the region: a thread waiting for a Data Return had its processor become
+the home via a Region Sponmigrate, and the stale reply then overwrote
+the home pointer with the sender.
+
+Run:  python examples/error2_home_loss.py
+"""
+
+from repro.analysis.explain import narrate_trace
+from repro.jackal import CONFIG_2, ProtocolVariant
+from repro.jackal.requirements import (
+    build_model,
+    check_requirement_3_1,
+    check_requirement_3_2,
+)
+from repro.lts.trace import replay
+
+
+def main() -> None:
+    print("checking requirement 3.2 on the pre-fix protocol (config 2)...")
+    bad = check_requirement_3_2(CONFIG_2, ProtocolVariant.error2())
+    print(" ", bad.summary())
+    assert not bad.holds
+
+    print()
+    print("requirement 3.1 (at most one home) still holds — the bug loses")
+    print("the home rather than duplicating it:")
+    print(" ", check_requirement_3_1(CONFIG_2, ProtocolVariant.error2()).summary())
+
+    print()
+    print("witness trace to the homeless stable state")
+    print("------------------------------------------")
+    model = build_model(CONFIG_2, ProtocolVariant.error2(), probes=True)
+    print(narrate_trace(model, bad.trace))
+
+    t = replay(model, bad.trace.labels)
+    d = model.decode_state(t.final_state)
+    print()
+    print("final home pointers per processor:",
+          [d["copies"][p][0]["home"] for p in range(model.n_proc)])
+    print("(no pointer equals its own processor: the home is gone)")
+
+    print()
+    print("with the fix (sponmigrate informs waiting threads):")
+    print(" ", check_requirement_3_2(CONFIG_2, ProtocolVariant.fixed()).summary())
+
+
+if __name__ == "__main__":
+    main()

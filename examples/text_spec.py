@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Load a textual specification and run the full verification pipeline.
+
+The paper's protocol model is an 1800-line *textual* muCRL
+specification. This example shows the same workflow on the bundled
+alternating-bit-protocol spec (``examples/specs/abp.mcrl``): parse,
+instantiate, check for deadlocks, model check a requirement-style
+formula, reduce modulo branching bisimulation, and confirm the
+classical correctness statement against a one-place buffer.
+
+Run:  python examples/text_spec.py
+"""
+
+from pathlib import Path
+
+from repro.algebra import parse_mcrl
+from repro.algebra.examples import one_place_buffer
+from repro.lts import explore, find_deadlocks, minimize_branching
+from repro.lts.reduction import bisimilar
+from repro.mucalc import holds, parse_formula
+
+SPEC = Path(__file__).resolve().parent / "specs" / "abp.mcrl"
+
+
+def main() -> None:
+    print(f"loading {SPEC.name} ...")
+    module = parse_mcrl(SPEC.read_text())
+    print(f"  sorts: {', '.join(module.sorts)}")
+    print(f"  processes: {', '.join(module.spec.process_names())}")
+
+    system = module.system()
+    lts = explore(system)
+    print(f"instantiated: {lts.n_states} states, {lts.n_transitions} transitions")
+
+    print(find_deadlocks(lts).summary())
+
+    safety = parse_formula("[(not in(1))*.out(1)] F")
+    print(f"no message invention ([(not in(1))*.out(1)] F): {holds(lts, safety)}")
+
+    liveness = parse_formula("[T*.in(0).(not out(0))*] <T*.out(0)> T")
+    print(f"delivery stays possible: {holds(lts, liveness)}")
+
+    reduced = minimize_branching(lts)
+    print(
+        f"branching reduction: {lts.n_states} -> {reduced.n_states} states"
+    )
+    ok = bisimilar(lts, explore(one_place_buffer()), kind="branching")
+    print(f"branching-bisimilar to a one-place buffer: {ok}")
+
+
+if __name__ == "__main__":
+    main()

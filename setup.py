@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on offline environments whose
+setuptools lacks the PEP 660 editable-wheel path (no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,164 @@
+"""Parallel composition, encapsulation, hiding, renaming.
+
+These are the operators the paper uses to assemble the protocol model:
+"our model of the cache coherence protocol is a parallel composition of
+threads, processors, regions, protocol lock managers and message queues
+upon a set of communication actions", closed under the encapsulation
+operator (forcing paired send/receive actions to synchronise) and
+hiding.
+
+A :class:`Comm` object is muCRL's communication function gamma: it maps
+unordered pairs of action names to the name of their communication
+action. Data parameters must agree for a synchronisation to fire, which
+is how value passing works in muCRL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import SpecificationError
+from repro.algebra.terms import ProcessTerm
+
+
+@dataclass(frozen=True)
+class Comm:
+    """A communication function.
+
+    Built from triples ``(a, b, c)`` meaning gamma(a, b) = c. The
+    function must be commutative (pairs are unordered) and partial
+    (unlisted pairs do not communicate). Communication of three or more
+    actions (gamma(c, d) with c itself a communication result) is
+    supported by listing the corresponding pairs explicitly.
+    """
+
+    table: tuple[tuple[frozenset, str], ...]
+
+    def __init__(self, *triples: tuple[str, str, str]):
+        seen: dict[frozenset, str] = {}
+        for a, b, c in triples:
+            key = frozenset((a, b))
+            if a == b:
+                # gamma(a, a) = c is legal in muCRL; key is {a}
+                key = frozenset((a,))
+            if key in seen and seen[key] != c:
+                raise SpecificationError(
+                    f"conflicting communication for {sorted(key)}: "
+                    f"{seen[key]} vs {c}"
+                )
+            seen[key] = c
+        object.__setattr__(self, "table", tuple(sorted(seen.items(), key=str)))
+
+    def result(self, a: str, b: str) -> str | None:
+        """The communication action of names ``a`` and ``b``, or None."""
+        key = frozenset((a, b)) if a != b else frozenset((a,))
+        for k, c in self.table:
+            if k == key:
+                return c
+        return None
+
+    @staticmethod
+    def pairs(*names: str) -> "Comm":
+        """Convenience: for each base name ``x``, declare
+        gamma(``s_x``, ``r_x``) = ``c_x`` — the ubiquitous muCRL naming
+        convention used throughout the paper's specification."""
+        return Comm(*[(f"s_{n}", f"r_{n}", f"c_{n}") for n in names])
+
+
+@dataclass(frozen=True)
+class Par(ProcessTerm):
+    """Parallel composition of two process terms under a communication
+    function."""
+
+    left: ProcessTerm
+    right: ProcessTerm
+    comm: Comm | None = None
+
+    def subterms(self) -> Iterable[ProcessTerm]:
+        return (self.left, self.right)
+
+    def free(self):
+        return self.left.free() | self.right.free()
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+def par_all(terms: Iterable[ProcessTerm], comm: Comm | None = None) -> ProcessTerm:
+    """Left-associated parallel composition of several terms."""
+    terms = list(terms)
+    if not terms:
+        raise SpecificationError("par_all of no terms")
+    out = terms[0]
+    for t in terms[1:]:
+        out = Par(out, t, comm)
+    return out
+
+
+@dataclass(frozen=True)
+class Encap(ProcessTerm):
+    """Encapsulation: actions named in ``hidden`` are blocked
+    (renamed to delta), forcing them to occur only inside
+    communications."""
+
+    names: frozenset[str]
+    inner: ProcessTerm
+
+    def __init__(self, names: Iterable[str], inner: ProcessTerm):
+        object.__setattr__(self, "names", frozenset(names))
+        object.__setattr__(self, "inner", inner)
+
+    def subterms(self) -> Iterable[ProcessTerm]:
+        return (self.inner,)
+
+    def free(self):
+        return self.inner.free()
+
+    def __str__(self) -> str:
+        return f"encap({sorted(self.names)}, {self.inner})"
+
+
+@dataclass(frozen=True)
+class Hide(ProcessTerm):
+    """Hiding: actions named in ``names`` become tau."""
+
+    names: frozenset[str]
+    inner: ProcessTerm
+
+    def __init__(self, names: Iterable[str], inner: ProcessTerm):
+        object.__setattr__(self, "names", frozenset(names))
+        object.__setattr__(self, "inner", inner)
+
+    def subterms(self) -> Iterable[ProcessTerm]:
+        return (self.inner,)
+
+    def free(self):
+        return self.inner.free()
+
+    def __str__(self) -> str:
+        return f"hide({sorted(self.names)}, {self.inner})"
+
+
+@dataclass(frozen=True)
+class Rename(ProcessTerm):
+    """Action renaming by name (data parameters are preserved)."""
+
+    mapping: tuple[tuple[str, str], ...]
+    inner: ProcessTerm
+
+    def __init__(self, mapping: Mapping[str, str], inner: ProcessTerm):
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+        object.__setattr__(self, "inner", inner)
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    def subterms(self) -> Iterable[ProcessTerm]:
+        return (self.inner,)
+
+    def free(self):
+        return self.inner.free()
+
+    def __str__(self) -> str:
+        return f"rename({dict(self.mapping)}, {self.inner})"

@@ -1,0 +1,184 @@
+"""Classic specification examples for the process algebra.
+
+The muCRL/CADP literature's standard warm-ups, used in the test suite
+and documentation to validate the toolchain end to end:
+
+* :func:`one_place_buffer` — the smallest data-carrying process;
+* :func:`two_place_buffer` — two one-place buffers chained by an
+  internal channel (branching-bisimilar to a direct two-place buffer);
+* :func:`alternating_bit_protocol` — the canonical verification
+  example: sender and receiver over lossy channels, correct iff the
+  composition is branching-bisimilar to a one-place buffer after
+  hiding.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.composition import Comm, Encap, Hide, Par, par_all
+from repro.algebra.spec import ProcessDef, Spec
+from repro.algebra.semantics import SpecSystem
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    DVar,
+    FiniteSort,
+    Fn,
+    Seq,
+    Sum,
+)
+
+
+def _flip(b):
+    return Fn("flip", lambda x: 1 - x, b)
+
+
+def one_place_buffer(values=(0, 1)) -> SpecSystem:
+    """``B = sum(d: D, in(d) . out(d) . B)``."""
+    d_sort = FiniteSort("D", tuple(values))
+    spec = Spec(defs=[
+        ProcessDef(
+            "B", (),
+            Sum("d", d_sort,
+                Seq(Act("in", DVar("d")), Seq(Act("out", DVar("d")), Call("B")))),
+        )
+    ])
+    return SpecSystem(spec, Call("B"))
+
+
+def two_place_buffer(values=(0, 1)) -> SpecSystem:
+    """Two chained one-place buffers with the link hidden."""
+    d_sort = FiniteSort("D", tuple(values))
+    spec = Spec(defs=[
+        ProcessDef(
+            "Left", (),
+            Sum("d", d_sort,
+                Seq(Act("in", DVar("d")),
+                    Seq(Act("s_link", DVar("d")), Call("Left")))),
+        ),
+        ProcessDef(
+            "Right", (),
+            Sum("d", d_sort,
+                Seq(Act("r_link", DVar("d")),
+                    Seq(Act("out", DVar("d")), Call("Right")))),
+        ),
+    ])
+    comm = Comm(("s_link", "r_link", "c_link"))
+    init = Hide(
+        ["c_link"],
+        Encap(["s_link", "r_link"], Par(Call("Left"), Call("Right"), comm)),
+    )
+    return SpecSystem(spec, init)
+
+
+def alternating_bit_protocol(values=(0, 1)) -> SpecSystem:
+    """The alternating bit protocol over lossy channels.
+
+    Components (all recursive, bit-indexed):
+
+    * ``S(b)`` — reads ``in(d)``, then resends ``(d, b)`` until the
+      acknowledgement ``b`` arrives;
+    * ``R(b)`` — delivers fresh frames via ``out(d)``, acknowledges
+      every frame with its bit;
+    * ``K``/``L`` — the data and ack channels, which may deliver or
+      lose (a ``lost`` action, hidden in the composition).
+
+    After hiding all internal actions, the composition must be
+    branching-bisimilar to :func:`one_place_buffer` — the classical
+    correctness statement, asserted in the test suite.
+    """
+    d_sort = FiniteSort("D", tuple(values))
+    bit = FiniteSort("Bit", (0, 1))
+
+    # Sender: Send(b) = sum d. in(d) . Sending(d, b)
+    # Sending(d,b) = s_frame(d,b) . ( r_ack(b).Send(1-b)
+    #                               + r_ack(1-b).Sending(d,b)
+    #                               + r_ack_err.Sending(d,b) )
+    send = ProcessDef(
+        "Send", ("b",),
+        Sum("d", d_sort, Seq(Act("in", DVar("d")),
+                             Call("Sending", DVar("d"), DVar("b")))),
+    )
+    sending = ProcessDef(
+        "Sending", ("d", "b"),
+        Seq(
+            Act("s_frame", DVar("d"), DVar("b")),
+            Alt(
+                Seq(Act("r_ack", DVar("b")), Call("Send", _flip(DVar("b")))),
+                Alt(
+                    Seq(Act("r_ack", _flip(DVar("b"))),
+                        Call("Sending", DVar("d"), DVar("b"))),
+                    Seq(Act("r_ack_err"), Call("Sending", DVar("d"), DVar("b"))),
+                ),
+            ),
+        ),
+    )
+    # Receiver: Recv(b) = sum d. ( r_frame(d,b) . out(d) . s_ack(b) . Recv(1-b)
+    #                            + r_frame(d,1-b) . s_ack(1-b) . Recv(b) )
+    #                   + r_frame_err . s_ack(1-b) . Recv(b)
+    recv = ProcessDef(
+        "Recv", ("b",),
+        Alt(
+            Sum(
+                "d", d_sort,
+                Alt(
+                    Seq(Act("r_frame", DVar("d"), DVar("b")),
+                        Seq(Act("out", DVar("d")),
+                            Seq(Act("s_ack", DVar("b")),
+                                Call("Recv", _flip(DVar("b")))))),
+                    Seq(Act("r_frame", DVar("d"), _flip(DVar("b"))),
+                        Seq(Act("s_ack", _flip(DVar("b"))), Call("Recv", DVar("b")))),
+                ),
+            ),
+            Seq(Act("r_frame_err"),
+                Seq(Act("s_ack", _flip(DVar("b"))), Call("Recv", DVar("b")))),
+        ),
+    )
+    # Data channel: K = sum d. sum b. k_in(d,b) . (k_out(d,b) + k_err) . K
+    chan_k = ProcessDef(
+        "K", (),
+        Sum("d", d_sort, Sum("b", bit,
+            Seq(Act("k_in", DVar("d"), DVar("b")),
+                Alt(
+                    Seq(Act("k_out", DVar("d"), DVar("b")), Call("K")),
+                    Seq(Act("k_err"), Call("K")),
+                )))),
+    )
+    # Ack channel: L = sum b. l_in(b) . (l_out(b) + l_err) . L
+    chan_l = ProcessDef(
+        "L", (),
+        Sum("b", bit,
+            Seq(Act("l_in", DVar("b")),
+                Alt(
+                    Seq(Act("l_out", DVar("b")), Call("L")),
+                    Seq(Act("l_err"), Call("L")),
+                ))),
+    )
+    spec = Spec(defs=[send, sending, recv, chan_k, chan_l])
+    comm = Comm(
+        ("s_frame", "k_in", "c_frame_in"),
+        ("k_out", "r_frame", "c_frame_out"),
+        ("k_err", "r_frame_err", "c_frame_err"),
+        ("s_ack", "l_in", "c_ack_in"),
+        ("l_out", "r_ack", "c_ack_out"),
+        ("l_err", "r_ack_err", "c_ack_err"),
+    )
+    blocked = [
+        "s_frame", "k_in", "k_out", "r_frame", "k_err", "r_frame_err",
+        "s_ack", "l_in", "l_out", "r_ack", "l_err", "r_ack_err",
+    ]
+    internal = [
+        "c_frame_in", "c_frame_out", "c_frame_err",
+        "c_ack_in", "c_ack_out", "c_ack_err",
+    ]
+    init = Hide(
+        internal,
+        Encap(
+            blocked,
+            par_all(
+                [Call("Send", 0), Call("K"), Call("L"), Call("Recv", 0)],
+                comm,
+            ),
+        ),
+    )
+    return SpecSystem(spec, init)

@@ -1,0 +1,535 @@
+"""Linearization: specifications to linear process equations (LPEs).
+
+The muCRL toolset's first step — the paper: "The muCRL toolset is a
+collection of tools ... based on term rewriting and linearization
+techniques" — rewrites a specification into a *linear process
+equation*: one flat list of condition/action/effect summands over a
+state vector. Everything downstream (instantiation, symbolic analysis,
+parallel expansion) works on that form.
+
+This module implements linearization for the sequential (pCRL) fragment
+with finite sorts:
+
+1. bodies are normalised to *action-prefix form*: sequential
+   composition is rotated right and distributed over choice, summation
+   and conditionals until every action literally prefixes its
+   continuation (non-tail calls, i.e. ``Call . p``, are outside the
+   fragment and rejected);
+2. every action occurrence becomes a :class:`Summand` — its bound sum
+   variables, path condition, action, and symbolic successor (another
+   program position, a recursive call, or termination);
+3. the result is an :class:`LPE`, itself a
+   :class:`~repro.lts.explore.TransitionSystem`, strongly bisimilar to
+   the original specification semantics (asserted in the test suite).
+
+On LPEs the *expansion theorem* becomes mechanical:
+:func:`parallel_expand` composes two LPEs under a communication
+function into one LPE whose summands are the left moves, the right
+moves, and the synchronisations — exactly how muCRL eliminates the
+parallel operator. :func:`encapsulate` and :func:`hide_actions` finish
+the job, so the full paper pipeline (components -> linearise ->
+expand -> encapsulate -> hide -> instantiate) runs end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import SpecificationError
+from repro.algebra.composition import Comm
+from repro.algebra.spec import Spec
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Delta,
+    DVar,
+    Expr,
+    FiniteSort,
+    Fn,
+    ProcessTerm,
+    Seq,
+    Sum,
+)
+
+# ---------------------------------------------------------------------------
+# summands and LPEs
+# ---------------------------------------------------------------------------
+
+#: successor kinds
+NEXT_POS = "pos"
+NEXT_TERM = "term"
+
+
+@dataclass(frozen=True)
+class Summand:
+    """One LPE summand::
+
+        sum(v1: S1, ..., vk: Sk,  action(args) . next  <| cond |> delta)
+
+    ``src`` is the source program position; ``scope`` the ordered
+    variables live there. ``next_kind`` is :data:`NEXT_POS` (with
+    ``next_pos`` and ``next_args`` computing the target scope) or
+    :data:`NEXT_TERM` for successful termination.
+    """
+
+    src: int
+    scope: tuple[str, ...]
+    sum_vars: tuple[tuple[str, FiniteSort], ...]
+    conds: tuple[Expr, ...]
+    action: str
+    action_args: tuple[Expr, ...]
+    next_kind: str
+    next_pos: int = -1
+    next_args: tuple[Expr, ...] = ()
+
+    def describe(self) -> str:
+        """muCRL-style one-line rendering."""
+        parts = []
+        if self.sum_vars:
+            binders = ", ".join(f"{v}:{s.name}" for v, s in self.sum_vars)
+            parts.append(f"sum({binders})")
+        act = self.action
+        if self.action_args:
+            act += "(" + ", ".join(map(str, self.action_args)) + ")"
+        parts.append(act)
+        if self.next_kind == NEXT_TERM:
+            tail = "√"
+        else:
+            tail = f"P{self.next_pos}(" + ", ".join(map(str, self.next_args)) + ")"
+        cond = " && ".join(map(str, self.conds)) if self.conds else "T"
+        return f"P{self.src}: {' . '.join(parts)} -> {tail}  <| {cond} |>"
+
+
+@dataclass
+class LPE:
+    """A linear process equation over program positions.
+
+    ``scopes[p]`` is the ordered variable tuple of position ``p``;
+    ``summands`` the flat rule list; ``initial`` a ``(position,
+    values)`` pair. The class implements the transition-system protocol
+    so it can be explored, reduced, and model checked directly.
+    """
+
+    scopes: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    summands: list[Summand] = field(default_factory=list)
+    initial_pos: int = 0
+    initial_vals: tuple = ()
+
+    # -- TransitionSystem -------------------------------------------------
+
+    def initial_state(self):
+        return (self.initial_pos, self.initial_vals)
+
+    def successors(self, state):
+        if state == ("√",):
+            return []
+        pos, vals = state
+        scope_env = dict(zip(self.scopes[pos], vals))
+        out = []
+        for s in self.summands:
+            if s.src != pos:
+                continue
+            domains = [sort.values for _v, sort in s.sum_vars]
+            names = [v for v, _s in s.sum_vars]
+            for combo in itertools.product(*domains) if domains else [()]:
+                env = {**scope_env, **dict(zip(names, combo))}
+                if not all(bool(c.eval(env)) for c in s.conds):
+                    continue
+                args = tuple(a.eval(env) for a in s.action_args)
+                label = (
+                    f"{s.action}({','.join(map(str, args))})"
+                    if args
+                    else s.action
+                )
+                if s.next_kind == NEXT_TERM:
+                    nxt = ("√",)
+                else:
+                    nvals = tuple(e.eval(env) for e in s.next_args)
+                    nxt = (s.next_pos, nvals)
+                out.append((label, nxt))
+        return out
+
+    # -- niceties ----------------------------------------------------------
+
+    def n_positions(self) -> int:
+        """Number of program positions."""
+        return len(self.scopes)
+
+    def describe(self) -> str:
+        """The whole LPE, one summand per line."""
+        return "\n".join(s.describe() for s in self.summands)
+
+    def action_names(self) -> set[str]:
+        """The action alphabet."""
+        return {s.action for s in self.summands}
+
+
+# ---------------------------------------------------------------------------
+# stage 1: action-prefix normal form
+# ---------------------------------------------------------------------------
+
+
+def _normalize(term: ProcessTerm, fresh: "itertools.count") -> ProcessTerm:
+    """Rotate/distribute Seq until every action prefixes its continuation."""
+    if isinstance(term, (Act, Delta, Call)):
+        return term
+    if isinstance(term, Alt):
+        return Alt(_normalize(term.left, fresh), _normalize(term.right, fresh))
+    if isinstance(term, Sum):
+        return Sum(term.var, term.sort, _normalize(term.body, fresh))
+    if isinstance(term, Cond):
+        return Cond(
+            _normalize(term.then, fresh), term.cond, _normalize(term.els, fresh)
+        )
+    if isinstance(term, Seq):
+        left, right = term.left, term.right
+        if isinstance(left, Seq):  # (p.q).r -> p.(q.r)
+            return _normalize(Seq(left.left, Seq(left.right, right)), fresh)
+        if isinstance(left, Alt):  # (p+q).r -> p.r + q.r
+            return Alt(
+                _normalize(Seq(left.left, right), fresh),
+                _normalize(Seq(left.right, right), fresh),
+            )
+        if isinstance(left, Sum):  # (sum v. p).r -> sum v. (p.r), v fresh
+            var = left.var
+            body = left.body
+            if var in right.free():
+                new = f"{var}_{next(fresh)}"
+                body = _rename_var(body, var, new)
+                var = new
+            return Sum(var, left.sort, _normalize(Seq(body, right), fresh))
+        if isinstance(left, Cond):
+            return Cond(
+                _normalize(Seq(left.then, right), fresh),
+                left.cond,
+                _normalize(Seq(left.els, right), fresh),
+            )
+        if isinstance(left, Delta):
+            return Delta()
+        if isinstance(left, Act):
+            return Seq(left, _normalize(right, fresh))
+        if isinstance(left, Call):
+            raise SpecificationError(
+                f"non-tail recursion ({left}) . ... is outside the "
+                "linearisable fragment"
+            )
+        raise SpecificationError(f"cannot normalise {term}")
+    raise SpecificationError(f"not a sequential process term: {term!r}")
+
+
+def _rename_var(term: ProcessTerm, old: str, new: str) -> ProcessTerm:
+    """Capture-avoiding rename of a data variable."""
+
+    def ren_expr(e: Expr) -> Expr:
+        if isinstance(e, DVar):
+            return DVar(new) if e.name == old else e
+        if isinstance(e, Fn):
+            return Fn(e.name, e.func, *(ren_expr(a) for a in e.args))
+        return e
+
+    if isinstance(term, Act):
+        return Act(term.name, *(ren_expr(a) for a in term.args))
+    if isinstance(term, Call):
+        return Call(term.name, *(ren_expr(a) for a in term.args))
+    if isinstance(term, Delta):
+        return term
+    if isinstance(term, Seq):
+        return Seq(_rename_var(term.left, old, new), _rename_var(term.right, old, new))
+    if isinstance(term, Alt):
+        return Alt(_rename_var(term.left, old, new), _rename_var(term.right, old, new))
+    if isinstance(term, Sum):
+        if term.var == old:
+            return term  # shadowed
+        return Sum(term.var, term.sort, _rename_var(term.body, old, new))
+    if isinstance(term, Cond):
+        return Cond(
+            _rename_var(term.then, old, new),
+            ren_expr(term.cond),
+            _rename_var(term.els, old, new),
+        )
+    raise SpecificationError(f"cannot rename in {term!r}")
+
+
+def _not(e: Expr) -> Expr:
+    return Fn("not", lambda x: not x, e)
+
+
+# ---------------------------------------------------------------------------
+# stage 2: summand extraction
+# ---------------------------------------------------------------------------
+
+
+class _Linearizer:
+    def __init__(self, spec: Spec):
+        self.spec = spec
+        self.fresh = itertools.count()
+        self.lpe = LPE()
+        self._next_pos = 0
+        #: def name -> entry position
+        self.entry: dict[str, int] = {}
+        #: positions whose tree still needs extraction: pos -> (tree, scope)
+        self._pending: list[tuple[int, ProcessTerm, tuple[str, ...]]] = []
+
+    def _new_pos(self, scope: tuple[str, ...]) -> int:
+        p = self._next_pos
+        self._next_pos += 1
+        self.lpe.scopes[p] = scope
+        return p
+
+    def run(self, init: Call) -> LPE:
+        d = self.spec.lookup(init.name)
+        self._entry_of(init.name)
+        while self._pending:
+            pos, tree, scope = self._pending.pop()
+            self._extract(pos, tree, scope, tree_scope=scope, sums=(), conds=())
+        self.lpe.initial_pos = self.entry[init.name]
+        self.lpe.initial_vals = tuple(a.eval({}) for a in init.args)
+        if len(self.lpe.initial_vals) != len(d.params):
+            raise SpecificationError(
+                f"{init.name} takes {len(d.params)} parameter(s)"
+            )
+        return self.lpe
+
+    def _entry_of(self, name: str) -> int:
+        if name in self.entry:
+            return self.entry[name]
+        d = self.spec.lookup(name)
+        scope = tuple(d.params)
+        pos = self._new_pos(scope)
+        self.entry[name] = pos
+        tree = _normalize(d.body, self.fresh)
+        self._pending.append((pos, tree, scope))
+        return pos
+
+    def _extract(self, pos, tree, scope, *, tree_scope, sums, conds) -> None:
+        """Walk the normalised tree, emitting one summand per action."""
+        if isinstance(tree, Delta):
+            return
+        if isinstance(tree, Alt):
+            self._extract(pos, tree.left, scope, tree_scope=tree_scope,
+                          sums=sums, conds=conds)
+            self._extract(pos, tree.right, scope, tree_scope=tree_scope,
+                          sums=sums, conds=conds)
+            return
+        if isinstance(tree, Sum):
+            self._extract(
+                pos, tree.body, scope, tree_scope=tree_scope,
+                sums=sums + ((tree.var, tree.sort),), conds=conds,
+            )
+            return
+        if isinstance(tree, Cond):
+            self._extract(pos, tree.then, scope, tree_scope=tree_scope,
+                          sums=sums, conds=conds + (tree.cond,))
+            self._extract(pos, tree.els, scope, tree_scope=tree_scope,
+                          sums=sums, conds=conds + (_not(tree.cond),))
+            return
+        if isinstance(tree, Act):
+            self.lpe.summands.append(Summand(
+                src=pos, scope=scope, sum_vars=sums, conds=conds,
+                action=tree.name, action_args=tree.args,
+                next_kind=NEXT_TERM,
+            ))
+            return
+        if isinstance(tree, Call):
+            # an actionless jump to another definition: inline it (the
+            # definition must be guarded, so inlining terminates)
+            target = self.spec.lookup(tree.name)
+            body = _normalize(target.body, self.fresh)
+            env = dict(zip(target.params, tree.args))
+            body = _substitute(body, env, self.fresh)
+            self._extract(pos, body, scope, tree_scope=tree_scope,
+                          sums=sums, conds=conds)
+            return
+        if isinstance(tree, Seq):
+            act = tree.left
+            cont = tree.right
+            assert isinstance(act, Act), "normalisation guarantees prefixes"
+            if isinstance(cont, Call):
+                target_pos = self._entry_of(cont.name)
+                self.lpe.summands.append(Summand(
+                    src=pos, scope=scope, sum_vars=sums, conds=conds,
+                    action=act.name, action_args=act.args,
+                    next_kind=NEXT_POS, next_pos=target_pos,
+                    next_args=tuple(cont.args),
+                ))
+                return
+            # continuation is an inline tree: it becomes its own position
+            cont_scope = tuple(
+                v for v in (scope + tuple(v for v, _s in sums))
+                if v in cont.free()
+            )
+            cont_pos = self._new_pos(cont_scope)
+            self._pending.append((cont_pos, cont, cont_scope))
+            self.lpe.summands.append(Summand(
+                src=pos, scope=scope, sum_vars=sums, conds=conds,
+                action=act.name, action_args=act.args,
+                next_kind=NEXT_POS, next_pos=cont_pos,
+                next_args=tuple(DVar(v) for v in cont_scope),
+            ))
+            return
+        raise SpecificationError(f"cannot linearise {tree!r}")
+
+
+def _substitute(term: ProcessTerm, env: dict[str, Expr], fresh) -> ProcessTerm:
+    """Substitute expressions for variables in a term."""
+
+    def sub_expr(e: Expr) -> Expr:
+        if isinstance(e, DVar):
+            return env.get(e.name, e)
+        if isinstance(e, Fn):
+            return Fn(e.name, e.func, *(sub_expr(a) for a in e.args))
+        return e
+
+    if isinstance(term, Act):
+        return Act(term.name, *(sub_expr(a) for a in term.args))
+    if isinstance(term, Call):
+        return Call(term.name, *(sub_expr(a) for a in term.args))
+    if isinstance(term, Delta):
+        return term
+    if isinstance(term, Seq):
+        return Seq(_substitute(term.left, env, fresh), _substitute(term.right, env, fresh))
+    if isinstance(term, Alt):
+        return Alt(_substitute(term.left, env, fresh), _substitute(term.right, env, fresh))
+    if isinstance(term, Sum):
+        var = term.var
+        body = term.body
+        inner = {k: v for k, v in env.items() if k != var}
+        free_in_env = set()
+        for e in inner.values():
+            free_in_env |= e.free()
+        if var in free_in_env:
+            new = f"{var}_{next(fresh)}"
+            body = _rename_var(body, var, new)
+            var = new
+        return Sum(var, term.sort, _substitute(body, inner, fresh))
+    if isinstance(term, Cond):
+        return Cond(
+            _substitute(term.then, env, fresh),
+            sub_expr(term.cond),
+            _substitute(term.els, env, fresh),
+        )
+    raise SpecificationError(f"cannot substitute in {term!r}")
+
+
+def linearize(spec: Spec, init: Call) -> LPE:
+    """Linearise a sequential specification started from ``init``.
+
+    ``init`` must be a closed :class:`Call`. Raises
+    :class:`~repro.errors.SpecificationError` outside the fragment
+    (parallel operators or non-tail recursion inside definitions).
+    """
+    if not isinstance(init, Call):
+        raise SpecificationError("linearize expects a Call as initial term")
+    if init.free():
+        raise SpecificationError("initial term must be closed")
+    return _Linearizer(spec).run(init)
+
+
+# ---------------------------------------------------------------------------
+# stage 3: the expansion theorem on LPEs
+# ---------------------------------------------------------------------------
+
+
+def parallel_expand(a: LPE, b: LPE, comm: Comm | None = None) -> "ProductLPE":
+    """Compose two LPEs in parallel under ``comm`` (expansion theorem).
+
+    The result is a :class:`ProductLPE` transition system whose states
+    pair the component states; its move list is exactly the expansion
+    theorem's: left interleavings, right interleavings, and
+    synchronisations of data-matching action pairs.
+    """
+    return ProductLPE(a, b, comm)
+
+
+@dataclass
+class ProductLPE:
+    """The parallel composition of two LPEs (optionally communicating).
+
+    Kept as a product system rather than flattened to one summand list:
+    semantically identical, and the structure keeps blocked/hidden
+    action handling simple. Supports the same exploration interface.
+    """
+
+    left: LPE
+    right: LPE
+    comm: Comm | None = None
+    blocked: frozenset[str] = frozenset()
+    hidden: frozenset[str] = frozenset()
+
+    def initial_state(self):
+        return (self.left.initial_state(), self.right.initial_state())
+
+    def _post(self, name: str) -> str | None:
+        if name in self.blocked:
+            return None
+        return "tau" if name in self.hidden else name
+
+    def successors(self, state):
+        ls, rs = state
+        lmoves = self.left.successors(ls)
+        rmoves = self.right.successors(rs)
+        out = []
+        for label, nl in lmoves:
+            name = label.split("(", 1)[0]
+            post = self._post(name)
+            if post is not None:
+                out.append((_relabel(label, name, post), (nl, rs)))
+        for label, nr in rmoves:
+            name = label.split("(", 1)[0]
+            post = self._post(name)
+            if post is not None:
+                out.append((_relabel(label, name, post), (ls, nr)))
+        if self.comm is not None:
+            for llabel, nl in lmoves:
+                lname, largs = _split(llabel)
+                for rlabel, nr in rmoves:
+                    rname, rargs = _split(rlabel)
+                    c = self.comm.result(lname, rname)
+                    if c is not None and largs == rargs:
+                        post = self._post(c)
+                        if post is not None:
+                            if post == "tau" or not largs:
+                                lab = post
+                            else:
+                                lab = f"{post}({largs})"
+                            out.append((lab, (nl, nr)))
+        return out
+
+    def restrict(self, blocked: Iterable[str] = (), hidden: Iterable[str] = ()):
+        """A copy with additional encapsulated / hidden action names."""
+        return ProductLPE(
+            self.left,
+            self.right,
+            self.comm,
+            self.blocked | frozenset(blocked),
+            self.hidden | frozenset(hidden),
+        )
+
+
+def _split(label: str) -> tuple[str, str]:
+    if "(" in label:
+        name, rest = label.split("(", 1)
+        return name, rest[:-1]
+    return label, ""
+
+
+def _relabel(label: str, name: str, post: str) -> str:
+    if post == name:
+        return label
+    if post == "tau":
+        return "tau"
+    return post + label[len(name):]
+
+
+def encapsulate(p: ProductLPE, names: Iterable[str]) -> ProductLPE:
+    """Block the given action names (muCRL's encapsulation)."""
+    return p.restrict(blocked=names)
+
+
+def hide_actions(p: ProductLPE, names: Iterable[str]) -> ProductLPE:
+    """Rename the given action names to tau (muCRL's hiding)."""
+    return p.restrict(hidden=names)

@@ -1,0 +1,412 @@
+"""A muCRL-flavoured concrete syntax for specifications.
+
+The paper's model is an 1800-line textual muCRL specification; this
+module gives the reproduction the same workflow — write specifications
+as text, load them, explore them::
+
+    sort D = 0 | 1
+    proc B = sum(d: D, in(d) . out(d) . B)
+    comm s | r = c
+    init encap({s, r}, B || C)
+
+Supported declarations (one per line; ``%`` starts a comment):
+
+* ``sort NAME = v1 | v2 | ...`` — finite sorts; values are integers or
+  bare names (loaded as strings);
+* ``func NAME`` — declare that ``NAME`` refers to a Python function
+  supplied via the ``functions`` argument (builtins ``eq``, ``ne``,
+  ``not``, ``and``, ``or``, ``flip``, ``inc``, ``dec`` are always
+  available);
+* ``proc NAME(p1: S1, ...) = term`` — process definitions;
+* ``comm a | b = c`` — the communication function;
+* ``init term`` — the initial composition.
+
+Terms use muCRL notation: ``.`` (sequence), ``+`` (choice),
+``sum(v: S, p)``, ``p <| cond |> q``, ``delta``, ``tau``, ``P(args)``
+(call or action, resolved against the declared processes), ``p || q``
+(parallel, using the declared communications), ``encap({a, ...}, p)``
+and ``hide({a, ...}, p)``.
+
+:func:`parse_mcrl` returns a :class:`McrlModule`;
+``module.system()`` builds the explorable
+:class:`~repro.algebra.semantics.SpecSystem`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SpecificationError
+from repro.algebra.composition import Comm, Encap, Hide, Par
+from repro.algebra.semantics import SpecSystem
+from repro.algebra.spec import ProcessDef, Spec
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Const,
+    Delta,
+    DVar,
+    Expr,
+    FiniteSort,
+    Fn,
+    ProcessTerm,
+    Seq,
+    Sum,
+)
+
+_BUILTINS: dict[str, Callable[..., Any]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "not": lambda a: not a,
+    "and": lambda a, b: bool(a and b),
+    "or": lambda a, b: bool(a or b),
+    "flip": lambda b: 1 - b,
+    "inc": lambda n: n + 1,
+    "dec": lambda n: max(0, n - 1),
+}
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<arrowl><\|)
+  | (?P<arrowr>\|>)
+  | (?P<par>\|\|)
+  | (?P<eqeq>==)
+  | (?P<neq>!=)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<sym>[=|(){}:,.+])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"sort", "proc", "comm", "init", "func", "sum", "delta", "tau",
+             "encap", "hide", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str
+    text: str
+    pos: int
+    line: int
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    toks: list[_Tok] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise SpecificationError(
+                f"line {line}: unexpected character {text[pos]!r}"
+            )
+        kind = m.lastgroup or ""
+        chunk = m.group()
+        if kind not in ("ws", "comment"):
+            toks.append(_Tok(kind, chunk, pos, line))
+        line += chunk.count("\n")
+        pos = m.end()
+    toks.append(_Tok("eof", "", len(text), line))
+    return toks
+
+
+@dataclass
+class McrlModule:
+    """A parsed textual specification."""
+
+    sorts: dict[str, FiniteSort] = field(default_factory=dict)
+    spec: Spec | None = None
+    comm: Comm | None = None
+    init: ProcessTerm | None = None
+    functions: dict[str, Callable[..., Any]] = field(default_factory=dict)
+
+    def system(self) -> SpecSystem:
+        """The explorable semantics of the module's ``init``."""
+        if self.spec is None or self.init is None:
+            raise SpecificationError("module has no proc/init sections")
+        return SpecSystem(self.spec, self.init)
+
+
+class _Parser:
+    def __init__(self, text: str, functions: dict[str, Callable] | None):
+        self.toks = _tokenize(text)
+        self.i = 0
+        self.sorts: dict[str, FiniteSort] = {}
+        self.proc_names: set[str] = set()
+        self.functions = {**_BUILTINS, **(functions or {})}
+        self.declared_funcs: set[str] = set()
+        self.comm_triples: list[tuple[str, str, str]] = []
+        self.defs: list[ProcessDef] = []
+        self.init_term: ProcessTerm | None = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def cur(self) -> _Tok:
+        return self.toks[self.i]
+
+    def advance(self) -> _Tok:
+        t = self.cur
+        self.i += 1
+        return t
+
+    def expect(self, kind: str, text: str | None = None) -> _Tok:
+        t = self.cur
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text if text is not None else kind
+            raise SpecificationError(
+                f"line {t.line}: expected {want!r}, found "
+                f"{t.text or 'end of input'!r}"
+            )
+        return self.advance()
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def eat(self, kind: str, text: str | None = None) -> bool:
+        if self.at(kind, text):
+            self.advance()
+            return True
+        return False
+
+    # -- declarations --------------------------------------------------------
+
+    def parse(self) -> McrlModule:
+        # first pass: proc names (so calls resolve during term parsing)
+        save = self.i
+        while self.cur.kind != "eof":
+            if self.at("ident", "proc"):
+                self.advance()
+                self.proc_names.add(self.expect("ident").text)
+            else:
+                self.advance()
+        self.i = save
+
+        while self.cur.kind != "eof":
+            head = self.expect("ident")
+            if head.text == "sort":
+                self._sort_decl()
+            elif head.text == "func":
+                self._func_decl()
+            elif head.text == "proc":
+                self._proc_decl()
+            elif head.text == "comm":
+                self._comm_decl()
+            elif head.text == "init":
+                if self.init_term is not None:
+                    raise SpecificationError(
+                        f"line {head.line}: duplicate init section"
+                    )
+                self.init_term = self.term()
+            else:
+                raise SpecificationError(
+                    f"line {head.line}: expected a declaration, found "
+                    f"{head.text!r}"
+                )
+        if self.init_term is None:
+            raise SpecificationError("missing init section")
+        module = McrlModule(
+            sorts=self.sorts,
+            spec=Spec(defs=self.defs),
+            comm=Comm(*self.comm_triples) if self.comm_triples else None,
+            init=self.init_term,
+            functions=self.functions,
+        )
+        module.spec.validate(extra_terms=[module.init])
+        return module
+
+    def _sort_decl(self) -> None:
+        name = self.expect("ident").text
+        self.expect("sym", "=")
+        values: list[Any] = [self._value()]
+        while self.eat("sym", "|"):
+            values.append(self._value())
+        if name in self.sorts:
+            raise SpecificationError(f"duplicate sort {name}")
+        self.sorts[name] = FiniteSort(name, tuple(values))
+
+    def _value(self) -> Any:
+        t = self.advance()
+        if t.kind == "number":
+            return int(t.text)
+        if t.kind == "ident":
+            return t.text
+        raise SpecificationError(f"line {t.line}: bad sort value {t.text!r}")
+
+    def _func_decl(self) -> None:
+        name = self.expect("ident").text
+        if name not in self.functions:
+            raise SpecificationError(
+                f"declared function {name!r} was not supplied "
+                "(pass it via parse_mcrl(..., functions={...}))"
+            )
+        self.declared_funcs.add(name)
+
+    def _proc_decl(self) -> None:
+        name = self.expect("ident").text
+        params: list[str] = []
+        if self.eat("sym", "("):
+            while not self.at("sym", ")"):
+                if params:
+                    self.expect("sym", ",")
+                params.append(self.expect("ident").text)
+                self.expect("sym", ":")
+                self.expect("ident")  # parameter sort (informational)
+            self.expect("sym", ")")
+        self.expect("sym", "=")
+        body = self.term()
+        self.defs.append(ProcessDef(name, tuple(params), body))
+
+    def _comm_decl(self) -> None:
+        a = self.expect("ident").text
+        self.expect("sym", "|")
+        b = self.expect("ident").text
+        self.expect("sym", "=")
+        c = self.expect("ident").text
+        self.comm_triples.append((a, b, c))
+
+    # -- terms -----------------------------------------------------------------
+
+    def term(self) -> ProcessTerm:
+        return self._par()
+
+    def _par(self) -> ProcessTerm:
+        left = self._cond()
+        while self.eat("par"):
+            right = self._cond()
+            left = Par(left, right, Comm(*self.comm_triples)
+                       if self.comm_triples else None)
+        return left
+
+    def _cond(self) -> ProcessTerm:
+        left = self._alt()
+        if self.eat("arrowl"):
+            cond = self.expr()
+            self.expect("arrowr")
+            els = self._alt()
+            return Cond(left, cond, els)
+        return left
+
+    def _alt(self) -> ProcessTerm:
+        left = self._seq()
+        while self.eat("sym", "+"):
+            left = Alt(left, self._seq())
+        return left
+
+    def _seq(self) -> ProcessTerm:
+        left = self._factor()
+        while self.eat("sym", "."):
+            left = Seq(left, self._factor())
+        return left
+
+    def _factor(self) -> ProcessTerm:
+        t = self.cur
+        if self.eat("sym", "("):
+            inner = self.term()
+            self.expect("sym", ")")
+            return inner
+        if t.kind != "ident":
+            raise SpecificationError(
+                f"line {t.line}: expected a process term, found {t.text!r}"
+            )
+        name = self.advance().text
+        if name == "delta":
+            return Delta()
+        if name == "tau":
+            return Act("tau")
+        if name == "sum":
+            self.expect("sym", "(")
+            var = self.expect("ident").text
+            self.expect("sym", ":")
+            sort_name = self.expect("ident").text
+            sort = self.sorts.get(sort_name)
+            if sort is None:
+                raise SpecificationError(f"unknown sort {sort_name}")
+            self.expect("sym", ",")
+            body = self.term()
+            self.expect("sym", ")")
+            return Sum(var, sort, body)
+        if name in ("encap", "hide"):
+            self.expect("sym", "(")
+            self.expect("sym", "{")
+            names = [self.expect("ident").text]
+            while self.eat("sym", ","):
+                names.append(self.expect("ident").text)
+            self.expect("sym", "}")
+            self.expect("sym", ",")
+            inner = self.term()
+            self.expect("sym", ")")
+            return Encap(names, inner) if name == "encap" else Hide(names, inner)
+        args: list[Expr] = []
+        if self.eat("sym", "("):
+            while not self.at("sym", ")"):
+                if args:
+                    self.expect("sym", ",")
+                args.append(self.expr())
+            self.expect("sym", ")")
+        if name in self.proc_names:
+            return Call(name, *args)
+        return Act(name, *args)
+
+    # -- data expressions ----------------------------------------------------
+
+    def expr(self) -> Expr:
+        left = self._expr_atom()
+        if self.eat("eqeq"):
+            return Fn("eq", _BUILTINS["eq"], left, self._expr_atom())
+        if self.eat("neq"):
+            return Fn("ne", _BUILTINS["ne"], left, self._expr_atom())
+        return left
+
+    def _expr_atom(self) -> Expr:
+        t = self.cur
+        if t.kind == "number":
+            self.advance()
+            return Const(int(t.text))
+        if self.eat("sym", "("):
+            e = self.expr()
+            self.expect("sym", ")")
+            return e
+        if t.kind == "ident":
+            self.advance()
+            if t.text == "true":
+                return Const(True)
+            if t.text == "false":
+                return Const(False)
+            if self.at("sym", "("):
+                fn = self.functions.get(t.text)
+                if fn is None:
+                    raise SpecificationError(
+                        f"line {t.line}: unknown function {t.text!r}"
+                    )
+                self.advance()
+                args: list[Expr] = []
+                while not self.at("sym", ")"):
+                    if args:
+                        self.expect("sym", ",")
+                    args.append(self.expr())
+                self.expect("sym", ")")
+                return Fn(t.text, fn, *args)
+            return DVar(t.text)
+        raise SpecificationError(
+            f"line {t.line}: expected an expression, found {t.text!r}"
+        )
+
+
+def parse_mcrl(
+    text: str, *, functions: dict[str, Callable[..., Any]] | None = None
+) -> McrlModule:
+    """Parse a textual specification into a :class:`McrlModule`.
+
+    ``functions`` supplies Python implementations for names declared
+    with ``func`` (the pragmatic stand-in for muCRL's equational
+    function definitions).
+    """
+    return _Parser(text, functions).parse()

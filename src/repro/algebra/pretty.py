@@ -1,0 +1,52 @@
+"""Pretty printing of runtime process terms.
+
+Exploration states are nested tuples; when a deadlock trace ends in a
+mysterious state, :func:`pretty_term` renders it back into algebra
+notation for human consumption (the paper notes that interpreting raw
+states and traces was a major time sink).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.semantics import TERMINATED
+
+
+def pretty_term(state, *, _prec: int = 0) -> str:
+    """Render a runtime term (see :mod:`repro.algebra.semantics`)."""
+    if state == TERMINATED:
+        return "√"
+    kind = state[0]
+    if kind == "delta":
+        return "delta"
+    if kind == "act":
+        _, name, args = state
+        if not args:
+            return name
+        return f"{name}({','.join(map(str, args))})"
+    if kind == "call":
+        _, name, args = state
+        if not args:
+            return name
+        return f"{name}({','.join(map(str, args))})"
+    if kind == "seq":
+        _, p, q = state
+        txt = f"{pretty_term(p, _prec=2)} . {pretty_term(q, _prec=1)}"
+        return f"({txt})" if _prec > 1 else txt
+    if kind == "alt":
+        _, p, q = state
+        txt = f"{pretty_term(p, _prec=1)} + {pretty_term(q, _prec=0)}"
+        return f"({txt})" if _prec > 0 else txt
+    if kind == "par":
+        _, p, q, _comm = state
+        return f"({pretty_term(p)} || {pretty_term(q)})"
+    if kind == "encap":
+        _, names, p = state
+        return f"encap({{{','.join(sorted(names))}}}, {pretty_term(p)})"
+    if kind == "hide":
+        _, names, p = state
+        return f"hide({{{','.join(sorted(names))}}}, {pretty_term(p)})"
+    if kind == "rename":
+        _, mapping, p = state
+        ren = ",".join(f"{a}->{b}" for a, b in mapping)
+        return f"rename({{{ren}}}, {pretty_term(p)})"
+    return repr(state)

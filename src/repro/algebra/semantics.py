@@ -1,0 +1,219 @@
+"""Structural operational semantics for the process algebra.
+
+Specification-level terms are *closed* into hashable runtime forms
+(nested tuples) in which all data expressions are evaluated, sums are
+expanded over their finite sorts, and conditionals are resolved. The
+runtime forms are the states explored by :func:`repro.lts.explore`.
+
+The SOS rules are the standard ACP/muCRL ones, with explicit successful
+termination (the empty process) so that sequential composition
+distributes correctly over parallel components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import SpecificationError
+from repro.algebra.composition import Comm, Encap, Hide, Par, Rename
+from repro.algebra.spec import Spec
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Delta,
+    ProcessTerm,
+    Seq,
+    Sum,
+)
+
+#: the terminated (empty) process
+TERMINATED = ("empty",)
+_DELTA = ("delta",)
+
+#: cap on recursive unfoldings while computing one state's successors;
+#: exceeding it means the specification has unguarded recursion (kept
+#: well below Python's own recursion limit so we fail with a helpful
+#: message instead of a RecursionError)
+MAX_UNFOLD_DEPTH = 80
+
+
+def _mk_seq(p, q):
+    if p == TERMINATED:
+        return q
+    if p == _DELTA:
+        return _DELTA
+    return ("seq", p, q)
+
+
+def _mk_par(p, q, comm):
+    if p == TERMINATED:
+        return q
+    if q == TERMINATED:
+        return p
+    return ("par", p, q, comm)
+
+
+def _mk_encap(names, p):
+    if p in (TERMINATED, _DELTA):
+        return p
+    return ("encap", names, p)
+
+
+def _mk_hide(names, p):
+    if p in (TERMINATED, _DELTA):
+        return p
+    return ("hide", names, p)
+
+
+def _mk_rename(mapping, p):
+    if p in (TERMINATED, _DELTA):
+        return p
+    return ("rename", mapping, p)
+
+
+def format_action(name: str, args: tuple) -> str:
+    """Render an action with its data arguments as an LTS label."""
+    if not args:
+        return name
+    return f"{name}({','.join(map(str, args))})"
+
+
+class SpecSystem:
+    """A :class:`~repro.lts.explore.TransitionSystem` over a specification.
+
+    Parameters
+    ----------
+    spec:
+        The process definitions.
+    init:
+        A closed specification-level term — typically the paper-style
+        ``Encap(H, Par(...))`` composition of component instances.
+    """
+
+    def __init__(self, spec: Spec, init: ProcessTerm):
+        self.spec = spec
+        spec.validate(extra_terms=[init])
+        self._init_state = self.close(init, {})
+
+    # -- closing specification terms into runtime forms -----------------
+
+    def close(self, term: ProcessTerm, env: dict[str, Any]):
+        """Evaluate ``term`` under ``env`` into a runtime form."""
+        if isinstance(term, Act):
+            return ("act", term.name, tuple(a.eval(env) for a in term.args))
+        if isinstance(term, Delta):
+            return _DELTA
+        if isinstance(term, Seq):
+            return _mk_seq(self.close(term.left, env), self.close(term.right, env))
+        if isinstance(term, Alt):
+            return ("alt", self.close(term.left, env), self.close(term.right, env))
+        if isinstance(term, Sum):
+            out = None
+            for v in term.sort.values:
+                branch = self.close(term.body, {**env, term.var: v})
+                out = branch if out is None else ("alt", out, branch)
+            return out
+        if isinstance(term, Cond):
+            cond = term.cond.eval(env)
+            if not isinstance(cond, bool):
+                raise SpecificationError(
+                    f"condition {term.cond} evaluated to non-boolean {cond!r}"
+                )
+            return self.close(term.then if cond else term.els, env)
+        if isinstance(term, Call):
+            return ("call", term.name, tuple(a.eval(env) for a in term.args))
+        if isinstance(term, Par):
+            return _mk_par(
+                self.close(term.left, env), self.close(term.right, env), term.comm
+            )
+        if isinstance(term, Encap):
+            return _mk_encap(term.names, self.close(term.inner, env))
+        if isinstance(term, Hide):
+            return _mk_hide(term.names, self.close(term.inner, env))
+        if isinstance(term, Rename):
+            return _mk_rename(term.mapping, self.close(term.inner, env))
+        raise SpecificationError(f"not a process term: {term!r}")
+
+    def _unfold(self, name: str, args: tuple):
+        d = self.spec.lookup(name)
+        if len(args) != len(d.params):
+            raise SpecificationError(
+                f"{name} takes {len(d.params)} parameter(s), got {len(args)}"
+            )
+        return self.close(d.body, dict(zip(d.params, args)))
+
+    # -- SOS -------------------------------------------------------------
+
+    def _moves(self, state, depth: int) -> list[tuple[str, tuple, Any]]:
+        """Structured successors: (action name, args, next runtime term)."""
+        if depth > MAX_UNFOLD_DEPTH:
+            raise SpecificationError(
+                "recursion unfolding exceeded "
+                f"{MAX_UNFOLD_DEPTH} steps: unguarded recursion?"
+            )
+        kind = state[0]
+        if kind in ("empty", "delta"):
+            return []
+        if kind == "act":
+            return [(state[1], state[2], TERMINATED)]
+        if kind == "seq":
+            _, p, q = state
+            return [(a, ar, _mk_seq(p2, q)) for a, ar, p2 in self._moves(p, depth)]
+        if kind == "alt":
+            _, p, q = state
+            return self._moves(p, depth) + self._moves(q, depth)
+        if kind == "call":
+            return self._moves(self._unfold(state[1], state[2]), depth + 1)
+        if kind == "par":
+            _, p, q, comm = state
+            pm = self._moves(p, depth)
+            qm = self._moves(q, depth)
+            out = [(a, ar, _mk_par(p2, q, comm)) for a, ar, p2 in pm]
+            out += [(b, br, _mk_par(p, q2, comm)) for b, br, q2 in qm]
+            if comm is not None:
+                for a, ar, p2 in pm:
+                    for b, br, q2 in qm:
+                        c = comm.result(a, b)
+                        if c is not None and ar == br:
+                            out.append((c, ar, _mk_par(p2, q2, comm)))
+            return out
+        if kind == "encap":
+            _, names, p = state
+            return [
+                (a, ar, _mk_encap(names, p2))
+                for a, ar, p2 in self._moves(p, depth)
+                if a not in names
+            ]
+        if kind == "hide":
+            _, names, p = state
+            return [
+                ("tau", (), _mk_hide(names, p2)) if a in names
+                else (a, ar, _mk_hide(names, p2))
+                for a, ar, p2 in self._moves(p, depth)
+            ]
+        if kind == "rename":
+            _, mapping, p = state
+            m = dict(mapping)
+            return [
+                (m.get(a, a), ar, _mk_rename(mapping, p2))
+                for a, ar, p2 in self._moves(p, depth)
+            ]
+        raise SpecificationError(f"unknown runtime term kind {kind!r}")
+
+    # -- TransitionSystem protocol ----------------------------------------
+
+    def initial_state(self):
+        """The closed initial runtime term."""
+        return self._init_state
+
+    def successors(self, state) -> Iterable[tuple[str, Any]]:
+        """Labelled successors of a runtime term."""
+        return [
+            (format_action(a, ar), nxt) for a, ar, nxt in self._moves(state, 0)
+        ]
+
+    def is_terminated(self, state) -> bool:
+        """Whether ``state`` is the successfully terminated process."""
+        return state == TERMINATED

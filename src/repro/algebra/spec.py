@@ -1,0 +1,140 @@
+"""Process specifications: named, parameterised process definitions.
+
+A :class:`Spec` collects the recursive definitions of a muCRL
+specification (the ``proc`` section). Static validation catches the
+mistakes the paper's authors report spending much time on: unknown
+process names, arity mismatches, and unbound data variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SpecificationError
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Delta,
+    ProcessTerm,
+    Seq,
+    Sum,
+)
+
+
+@dataclass(frozen=True)
+class ProcessDef:
+    """``name(param1, ..., paramN) = body``."""
+
+    name: str
+    params: tuple[str, ...]
+    body: ProcessTerm
+
+    def __str__(self) -> str:
+        if self.params:
+            return f"proc {self.name}({', '.join(self.params)}) = {self.body}"
+        return f"proc {self.name} = {self.body}"
+
+
+@dataclass
+class Spec:
+    """A set of process definitions.
+
+    Validation (``validate()``, also run on construction) checks:
+
+    * unique definition names;
+    * every :class:`Call` resolves to a known definition with the right
+      arity;
+    * every data variable is bound by a parameter or an enclosing
+      :class:`Sum`.
+    """
+
+    defs: list[ProcessDef] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._by_name: dict[str, ProcessDef] = {}
+        for d in self.defs:
+            if d.name in self._by_name:
+                raise SpecificationError(f"duplicate definition of {d.name}")
+            self._by_name[d.name] = d
+        self.validate()
+
+    def lookup(self, name: str) -> ProcessDef:
+        """The definition of ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(f"unknown process {name}") from None
+
+    def process_names(self) -> Iterable[str]:
+        """Names of all defined processes."""
+        return self._by_name.keys()
+
+    def validate(self, extra_terms: Iterable[ProcessTerm] = ()) -> None:
+        """Run static checks over all definitions (and ``extra_terms``,
+        e.g. an initial term, which must be closed)."""
+        for d in self.defs:
+            if len(set(d.params)) != len(d.params):
+                raise SpecificationError(
+                    f"{d.name}: duplicate parameter names {d.params}"
+                )
+            self._check(d.body, set(d.params), where=d.name)
+        for t in extra_terms:
+            self._check(t, set(), where="<initial term>")
+
+    def _check(self, term: ProcessTerm, scope: set[str], where: str) -> None:
+        if isinstance(term, (Act, Call)):
+            for a in term.args:
+                missing = a.free() - scope
+                if missing:
+                    raise SpecificationError(
+                        f"{where}: unbound data variable(s) "
+                        f"{sorted(missing)} in {term}"
+                    )
+            if isinstance(term, Call):
+                d = self._by_name.get(term.name)
+                if d is None:
+                    raise SpecificationError(
+                        f"{where}: call to unknown process {term.name}"
+                    )
+                if len(d.params) != len(term.args):
+                    raise SpecificationError(
+                        f"{where}: {term.name} takes {len(d.params)} "
+                        f"parameter(s), called with {len(term.args)}"
+                    )
+            return
+        if isinstance(term, Delta):
+            return
+        if isinstance(term, (Seq, Alt)):
+            self._check(term.left, scope, where)
+            self._check(term.right, scope, where)
+            return
+        if isinstance(term, Sum):
+            if term.var in scope:
+                raise SpecificationError(
+                    f"{where}: sum variable {term.var} shadows an "
+                    "enclosing binding"
+                )
+            self._check(term.body, scope | {term.var}, where)
+            return
+        if isinstance(term, Cond):
+            missing = term.cond.free() - scope
+            if missing:
+                raise SpecificationError(
+                    f"{where}: unbound data variable(s) {sorted(missing)} "
+                    f"in condition {term.cond}"
+                )
+            self._check(term.then, scope, where)
+            self._check(term.els, scope, where)
+            return
+        # composition operators inside definitions are checked by the
+        # semantics module (they carry their own sub-terms)
+        from repro.algebra.composition import Par, Encap, Hide, Rename
+
+        if isinstance(term, (Par, Encap, Hide, Rename)):
+            for sub in term.subterms():
+                self._check(sub, scope, where)
+            return
+        raise SpecificationError(f"{where}: not a process term: {term!r}")

@@ -1,0 +1,270 @@
+"""Syntax of process terms and data expressions.
+
+Terms here are the *specification-level* syntax: they may contain free
+data variables (bound by :class:`Sum` or by process definition
+parameters). The runtime states produced during exploration are fully
+evaluated closed forms built by :mod:`repro.algebra.semantics`.
+
+Data is plain Python: any hashable value can flow through actions and
+parameters; finite sorts (:class:`FiniteSort`) enumerate the values a
+:class:`Sum` ranges over, mirroring muCRL's equational data types at the
+level the paper's model actually uses them (enumerated processor /
+thread / region identifiers, booleans, small naturals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SpecificationError
+
+# ---------------------------------------------------------------------------
+# data expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for data expressions."""
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        """Evaluate under an environment mapping variable names to values."""
+        raise NotImplementedError
+
+    def free(self) -> frozenset[str]:
+        """Free data variables."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: Any
+
+    def eval(self, env):
+        return self.value
+
+    def free(self):
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class DVar(Expr):
+    """A data variable reference."""
+
+    name: str
+
+    def eval(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise SpecificationError(f"unbound data variable {self.name}") from None
+
+    def free(self):
+        return frozenset([self.name])
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Fn(Expr):
+    """A function application ``func(*args)``.
+
+    ``func`` is any Python callable; ``name`` is used for display only.
+    This is the pragmatic rendition of muCRL's equationally defined
+    functions: the defining equations become a Python body.
+    """
+
+    name: str
+    func: Callable[..., Any]
+    args: tuple[Expr, ...]
+
+    def __init__(self, name: str, func: Callable[..., Any], *args):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(_expr(a) for a in args))
+
+    def eval(self, env):
+        return self.func(*(a.eval(env) for a in self.args))
+
+    def free(self):
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+def _expr(x: Any) -> Expr:
+    """Coerce a Python value (or expression) to an :class:`Expr`."""
+    if isinstance(x, Expr):
+        return x
+    return Const(x)
+
+
+@dataclass(frozen=True)
+class FiniteSort:
+    """A finite enumerated sort, the range of a :class:`Sum`."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self):
+        if not self.values:
+            raise SpecificationError(f"sort {self.name} has no values")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# process terms
+# ---------------------------------------------------------------------------
+
+
+class ProcessTerm:
+    """Base class for specification-level process terms."""
+
+    def free(self) -> frozenset[str]:
+        """Free data variables of this term."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Act(ProcessTerm):
+    """An action ``name(args...)``; terminates after executing.
+
+    The reserved name ``"tau"`` is the hidden action and must not carry
+    arguments.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, name: str, *args):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(_expr(a) for a in args))
+        if name == "tau" and self.args:
+            raise SpecificationError("tau carries no data parameters")
+        if name == "delta":
+            raise SpecificationError("use Delta() for the deadlock constant")
+
+    def free(self):
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free()
+        return out
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+def Tau() -> Act:
+    """The hidden action tau."""
+    return Act("tau")
+
+
+@dataclass(frozen=True)
+class Delta(ProcessTerm):
+    """The deadlock constant: no actions, no termination."""
+
+    def free(self):
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "delta"
+
+
+@dataclass(frozen=True)
+class Seq(ProcessTerm):
+    """Sequential composition ``left . right``."""
+
+    left: ProcessTerm
+    right: ProcessTerm
+
+    def free(self):
+        return self.left.free() | self.right.free()
+
+    def __str__(self) -> str:
+        return f"{self.left} . {self.right}"
+
+
+@dataclass(frozen=True)
+class Alt(ProcessTerm):
+    """Non-deterministic choice ``left + right``."""
+
+    left: ProcessTerm
+    right: ProcessTerm
+
+    def free(self):
+        return self.left.free() | self.right.free()
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Sum(ProcessTerm):
+    """Summation over a finite sort: ``sum(var: sort, body)``."""
+
+    var: str
+    sort: FiniteSort
+    body: ProcessTerm
+
+    def free(self):
+        return self.body.free() - {self.var}
+
+    def __str__(self) -> str:
+        return f"sum({self.var}:{self.sort}, {self.body})"
+
+
+@dataclass(frozen=True)
+class Cond(ProcessTerm):
+    """The conditional ``then <| cond |> els`` of muCRL."""
+
+    then: ProcessTerm
+    cond: Expr
+    els: ProcessTerm
+
+    def __init__(self, then: ProcessTerm, cond, els: ProcessTerm | None = None):
+        object.__setattr__(self, "then", then)
+        object.__setattr__(self, "cond", _expr(cond))
+        object.__setattr__(self, "els", els if els is not None else Delta())
+
+    def free(self):
+        return self.then.free() | self.cond.free() | self.els.free()
+
+    def __str__(self) -> str:
+        return f"({self.then} <| {self.cond} |> {self.els})"
+
+
+@dataclass(frozen=True)
+class Call(ProcessTerm):
+    """A recursion variable with actual parameters: ``P(e1, ..., en)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, name: str, *args):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(_expr(a) for a in args))
+
+    def free(self):
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free()
+        return out
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.args))})"

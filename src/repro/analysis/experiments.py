@@ -1,0 +1,154 @@
+"""Programmatic experiment runners.
+
+One function per experiment of DESIGN.md's index, each returning a
+structured result object. The examples and the CLI are thin wrappers
+over these; downstream users can call them directly to re-run the
+paper's study under modified parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.jackal.params import CONFIG_1, CONFIG_2, CONFIG_3, Config, ProtocolVariant
+from repro.jackal.requirements import (
+    RequirementReport,
+    check_all_requirements,
+    check_requirement_1,
+    check_requirement_3_2,
+)
+from repro.lts.trace import Trace
+
+
+@dataclass
+class Table8Row:
+    """One row of the Table-8 reproduction."""
+
+    config: str
+    states: int
+    transitions: int
+    requirements: dict[str, RequirementReport]
+    seconds: float
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.requirements.values())
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config,
+            "states": self.states,
+            "transitions": self.transitions,
+            "req_checked": ", ".join(sorted(self.requirements)),
+            "all_hold": self.all_hold,
+            "seconds": round(self.seconds, 2),
+        }
+
+
+def run_table8(
+    *,
+    rounds: int | None = 2,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    max_states: int | None = None,
+    configs: dict[str, Config] | None = None,
+) -> list[Table8Row]:
+    """Regenerate Table 8 (experiment T8).
+
+    Configuration 3 is checked for requirements 1-2 only, as in the
+    paper.
+    """
+    if configs is None:
+        configs = {"1": CONFIG_1, "2": CONFIG_2, "3": CONFIG_3}
+    rows = []
+    for name, cfg in configs.items():
+        skip = ("3.1", "3.2", "4") if cfg.n_processors > 2 else ()
+        c = dataclasses.replace(cfg, rounds=rounds)
+        t0 = time.perf_counter()
+        res = check_all_requirements(c, variant, skip=skip, max_states=max_states)
+        rows.append(
+            Table8Row(
+                config=name,
+                states=max(r.lts_states for r in res.values()),
+                transitions=max(r.lts_transitions for r in res.values()),
+                requirements=res,
+                seconds=time.perf_counter() - t0,
+            )
+        )
+    return rows
+
+
+@dataclass
+class ErrorReproduction:
+    """Outcome of reproducing one of the two historical errors."""
+
+    error: str
+    buggy_report: RequirementReport
+    fixed_report: RequirementReport
+    trace: Trace | None = field(default=None)
+
+    @property
+    def reproduced(self) -> bool:
+        """Bug present in the buggy variant and absent in the fixed one."""
+        return (not self.buggy_report.holds) and self.fixed_report.holds
+
+    def summary(self) -> str:
+        status = "reproduced" if self.reproduced else "NOT reproduced"
+        length = len(self.trace) if self.trace else 0
+        return f"{self.error}: {status} (trace: {length} transitions)"
+
+
+def run_error1(
+    *, config: Config | None = None, max_states: int | None = None
+) -> ErrorReproduction:
+    """Reproduce Error 1 (experiment E1): the migration/fault-lock
+    deadlock, on the paper's configuration 1 with cyclic threads."""
+    cfg = config or dataclasses.replace(CONFIG_1, rounds=None)
+    buggy = check_requirement_1(
+        cfg, ProtocolVariant.error1(), max_states=max_states
+    )
+    fixed = check_requirement_1(
+        cfg, ProtocolVariant.fixed(), max_states=max_states
+    )
+    return ErrorReproduction(
+        error="Error 1 (deadlock, §5.4.1)",
+        buggy_report=buggy,
+        fixed_report=fixed,
+        trace=buggy.trace,
+    )
+
+
+def run_error2(
+    *, config: Config = CONFIG_2, max_states: int | None = None
+) -> ErrorReproduction:
+    """Reproduce Error 2 (experiment E2): the lost home, via property
+    3.2 on the paper's configuration 2."""
+    buggy = check_requirement_3_2(
+        config, ProtocolVariant.error2(), max_states=max_states
+    )
+    fixed = check_requirement_3_2(
+        config, ProtocolVariant.fixed(), max_states=max_states
+    )
+    return ErrorReproduction(
+        error="Error 2 (lost home, §5.4.3)",
+        buggy_report=buggy,
+        fixed_report=fixed,
+        trace=buggy.trace,
+    )
+
+
+def run_full_study(
+    *, rounds: int | None = 1, max_states: int | None = None
+) -> dict[str, object]:
+    """The whole paper in one call: Table 8 plus both error hunts.
+
+    Returns ``{"table8": [...], "error1": ..., "error2": ...}``; the
+    study "passes" when all Table-8 requirements hold on the fixed
+    protocol and both errors are reproduced.
+    """
+    return {
+        "table8": run_table8(rounds=rounds, max_states=max_states),
+        "error1": run_error1(max_states=max_states),
+        "error2": run_error2(max_states=max_states),
+    }

@@ -1,0 +1,87 @@
+"""ASCII tables for experiment reports (Table 8 and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+def format_table(
+    rows: Iterable[dict[str, object]],
+    columns: list[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a boxed ASCII table.
+
+    Column order follows ``columns`` when given, otherwise first-seen
+    key order. Numbers are right-aligned and thousands-separated.
+    """
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for r in rows:
+            for k in r:
+                if k not in columns:
+                    columns.append(k)
+
+    def fmt(v) -> str:
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if isinstance(v, int):
+            return f"{v:,}"
+        if isinstance(v, float):
+            return f"{v:,.3f}"
+        return str(v)
+
+    cells = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    numeric = [
+        all(
+            isinstance(r.get(c), (int, float)) and not isinstance(r.get(c), bool)
+            for r in rows
+            if c in r
+        )
+        for c in columns
+    ]
+
+    def line(row: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(columns)))
+    out.append(sep)
+    for row in cells:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+@dataclass
+class Table:
+    """Incrementally built report table."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def add(self, **kwargs) -> None:
+        """Append a row."""
+        self.rows.append(kwargs)
+
+    def render(self) -> str:
+        """The boxed ASCII rendering."""
+        return format_table(self.rows, self.columns, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Everything the paper's authors ran by hand — generation, requirement
+checking, trace narration — as subcommands::
+
+    python -m repro check   --config 1 --variant fixed
+    python -m repro check   --config 2 --variant error2 --requirement 3.2
+    python -m repro explore --config 1 --rounds 2 --aut out.aut
+    python -m repro table8  --rounds 2
+    python -m repro narrate --config 1 --variant error1 --cyclic
+    python -m repro litmus
+    python -m repro formula --config 1 '[T*.c_home] F'
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.analysis.explain import narrate_trace
+from repro.analysis.reporting import Table
+from repro.jackal.params import CONFIG_1, CONFIG_2, CONFIG_3, Config, ProtocolVariant
+from repro.jackal.requirements import (
+    build_lts,
+    build_model,
+    check_all_requirements,
+    check_requirement_1,
+    check_requirement_2,
+    check_requirement_3_1,
+    check_requirement_3_2,
+    check_requirement_4,
+)
+
+_CONFIGS = {"1": CONFIG_1, "2": CONFIG_2, "3": CONFIG_3}
+_VARIANTS = {
+    "fixed": ProtocolVariant.fixed,
+    "buggy": ProtocolVariant.buggy,
+    "error1": ProtocolVariant.error1,
+    "error2": ProtocolVariant.error2,
+    "no-migration": ProtocolVariant.no_migration,
+}
+_CHECKS = {
+    "1": check_requirement_1,
+    "2": check_requirement_2,
+    "3.1": check_requirement_3_1,
+    "3.2": check_requirement_3_2,
+    "4": check_requirement_4,
+}
+
+
+def _config(args) -> Config:
+    cfg = _CONFIGS[args.config]
+    rounds = None if getattr(args, "cyclic", False) else args.rounds
+    return dataclasses.replace(cfg, rounds=rounds)
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--config", choices=sorted(_CONFIGS), default="1",
+                   help="paper configuration (default 1)")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="fixed",
+                   help="protocol variant (default fixed)")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="write+flush rounds per thread (default 1)")
+    p.add_argument("--cyclic", action="store_true",
+                   help="cyclic threads, as in the paper's muCRL spec")
+    p.add_argument("--max-states", type=int, default=None,
+                   help="abort beyond this many states")
+
+
+def _cmd_check(args) -> int:
+    cfg = _config(args)
+    variant = _VARIANTS[args.variant]()
+    if args.requirement:
+        rep = _CHECKS[args.requirement](cfg, variant, max_states=args.max_states)
+        print(rep.summary())
+        if rep.trace is not None and args.trace:
+            print(rep.trace.format())
+        return 0 if rep.holds else 1
+    results = check_all_requirements(cfg, variant, max_states=args.max_states)
+    table = Table(
+        f"requirements on config {args.config} ({variant.describe()}, "
+        f"{cfg.describe()})",
+        ["requirement", "verdict", "detail", "states"],
+    )
+    ok = True
+    for rep in results.values():
+        ok &= rep.holds
+        table.add(requirement=rep.requirement,
+                  verdict="HOLDS" if rep.holds else "VIOLATED",
+                  detail=rep.detail, states=rep.lts_states)
+    print(table.render())
+    return 0 if ok else 1
+
+
+def _cmd_explore(args) -> int:
+    from repro.lts.aut import write_aut
+    from repro.lts.stats import lts_summary
+
+    cfg = _config(args)
+    variant = _VARIANTS[args.variant]()
+    _model, lts = build_lts(
+        cfg, variant, probes=args.probes, max_states=args.max_states
+    )
+    summary = lts_summary(lts)
+    print(Table(f"LTS of config {args.config} ({variant.describe()})",
+                list(summary.as_row()), [summary.as_row()]).render())
+    if args.aut:
+        write_aut(lts, args.aut)
+        print(f"written: {args.aut}")
+    return 0
+
+
+def _cmd_table8(args) -> int:
+    rows = []
+    for name, cfg in _CONFIGS.items():
+        skip = ("3.1", "3.2", "4") if name == "3" else ()
+        c = dataclasses.replace(
+            cfg, rounds=None if args.cyclic else args.rounds
+        )
+        res = check_all_requirements(
+            c, ProtocolVariant.fixed(), skip=skip, max_states=args.max_states
+        )
+        rows.append({
+            "config": name,
+            "states": max(r.lts_states for r in res.values()),
+            "transitions": max(r.lts_transitions for r in res.values()),
+            "req_checked": ", ".join(sorted(res)),
+            "all_hold": all(r.holds for r in res.values()),
+        })
+    print(Table("Table 8 reproduction",
+                ["config", "states", "transitions", "req_checked", "all_hold"],
+                rows).render())
+    return 0 if all(r["all_hold"] for r in rows) else 1
+
+
+def _cmd_narrate(args) -> int:
+    cfg = _config(args)
+    variant = _VARIANTS[args.variant]()
+    rep = check_requirement_1(cfg, variant, max_states=args.max_states)
+    print(rep.summary())
+    if rep.trace is None:
+        if args.requirement == "3.2" or rep.holds:
+            rep = check_requirement_3_2(cfg, variant, max_states=args.max_states)
+            print(rep.summary())
+    if rep.trace is None:
+        print("nothing to narrate (no counterexample found)")
+        return 0
+    model = build_model(cfg, variant, probes=not rep.holds and rep.requirement.startswith("3"))
+    print()
+    print(narrate_trace(model, rep.trace))
+    return 1
+
+
+def _cmd_litmus(_args) -> int:
+    from repro.jmm import LITMUS_TESTS, run_conformance
+
+    ok = True
+    for t in LITMUS_TESTS():
+        res = run_conformance(t)
+        ok &= res.conforms
+        print(res.summary())
+    return 0 if ok else 1
+
+
+def _cmd_formula(args) -> int:
+    from repro.mucalc.checker import holds
+    from repro.mucalc.parser import parse_formula
+
+    cfg = _config(args)
+    variant = _VARIANTS[args.variant]()
+    _model, lts = build_lts(
+        cfg, variant, probes=args.probes, max_states=args.max_states
+    )
+    f = parse_formula(args.formula)
+    result = holds(lts, f)
+    print(f"{f}  on config {args.config} ({variant.describe()}): {result}")
+    return 0 if result else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Jackal cache-coherence protocol verification "
+        "(IPPS 2003 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="model check the paper's requirements")
+    _add_model_args(p)
+    p.add_argument("--requirement", choices=sorted(_CHECKS), default=None,
+                   help="check one requirement (default: all)")
+    p.add_argument("--trace", action="store_true",
+                   help="print the counterexample trace if any")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("explore", help="generate the LTS, optionally to .aut")
+    _add_model_args(p)
+    p.add_argument("--probes", action="store_true",
+                   help="include the observability probe self-loops")
+    p.add_argument("--aut", default=None, help="write the LTS to this path")
+    p.set_defaults(fn=_cmd_explore)
+
+    p = sub.add_parser("table8", help="regenerate the paper's Table 8")
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--cyclic", action="store_true")
+    p.add_argument("--max-states", type=int, default=None)
+    p.set_defaults(fn=_cmd_table8)
+
+    p = sub.add_parser("narrate", help="find and narrate an error trace")
+    _add_model_args(p)
+    p.add_argument("--requirement", choices=("1", "3.2"), default="1")
+    p.set_defaults(fn=_cmd_narrate)
+
+    p = sub.add_parser("litmus", help="JMM conformance of the DSM runtime")
+    p.set_defaults(fn=_cmd_litmus)
+
+    p = sub.add_parser("formula", help="check a mu-calculus formula")
+    _add_model_args(p)
+    p.add_argument(
+        "--no-probes",
+        dest="probes",
+        action="store_false",
+        help="check on the probe-free model (needed for liveness formulas)",
+    )
+    p.set_defaults(probes=True)
+    p.add_argument("formula", help="formula in the paper's syntax")
+    p.set_defaults(fn=_cmd_formula)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The Jackal DSM cache coherence protocol model.
+
+This subpackage is the reproduction of the paper's subject: the
+self-invalidation based, multiple-writer cache coherence protocol of the
+Jackal fine-grained Java DSM system, including **automatic home node
+migration**, modelled at the abstraction level of the paper's muCRL
+specification (Section 5.2):
+
+* threads only write and flush (reads dropped);
+* regions carry location/home/state/WriterList/Localthreads but no
+  object or twin data;
+* region states are collapsed to Unused/Used;
+* per-processor Home and Remote message queues of capacity one;
+* five protocol locks per processor (server, fault, flush, homequeue,
+  remotequeue) with the paper's mutual-exclusion rules.
+
+Both historical implementation errors are reproducible through
+:class:`~repro.jackal.params.ProtocolVariant` switches:
+
+* ``fault_lock_recheck=False`` re-enables **Error 1** (a remote writer
+  that became local after home migration wedges the protocol — found by
+  deadlock detection);
+* ``sponmigrate_informs_threads=False`` re-enables **Error 2** (a stale
+  Data Return overwrites the home pointer after a Region Sponmigrate,
+  leaving the region with no home — found by model checking
+  Requirement 3.2).
+"""
+
+from repro.jackal.params import Config, ProtocolVariant, CONFIG_1, CONFIG_2, CONFIG_3
+from repro.jackal.model import JackalModel, Phase, RegionState, Msg
+from repro.jackal.actions import Labels
+from repro.jackal.statistics import (
+    ProtocolStatistics,
+    categorize_label,
+    protocol_statistics,
+)
+from repro.jackal.requirements import (
+    RequirementReport,
+    check_requirement_1,
+    check_requirement_2,
+    check_requirement_3_1,
+    check_requirement_3_2,
+    check_requirement_4,
+    check_all_requirements,
+)
+
+__all__ = [
+    "Config",
+    "ProtocolVariant",
+    "CONFIG_1",
+    "CONFIG_2",
+    "CONFIG_3",
+    "JackalModel",
+    "Phase",
+    "RegionState",
+    "Msg",
+    "Labels",
+    "ProtocolStatistics",
+    "categorize_label",
+    "protocol_statistics",
+    "RequirementReport",
+    "check_requirement_1",
+    "check_requirement_2",
+    "check_requirement_3_1",
+    "check_requirement_3_2",
+    "check_requirement_4",
+    "check_all_requirements",
+]

@@ -1,0 +1,157 @@
+"""Action label vocabulary of the protocol model.
+
+All transition labels are built here so that the model, the
+requirements, the benchmarks and the trace explainer agree on spelling.
+Thread-indexed labels follow the paper's convention of carrying the
+thread identifier (``write(t0)``, ``writeover(t0)``, ...).
+"""
+
+from __future__ import annotations
+
+#: observability probe labels (Requirement 3, paper Section 5.4.3)
+C_HOME = "c_home"
+C_COPY = "c_copy"
+LOCK_EMPTY = "lock_empty"
+HOMEQUEUE_EMPTY = "homequeue_empty"
+REMOTEQUEUE_EMPTY = "remotequeue_empty"
+
+PROBE_LABELS = (C_HOME, C_COPY, LOCK_EMPTY, HOMEQUEUE_EMPTY, REMOTEQUEUE_EMPTY)
+
+#: label of protocol assertion violations (Requirement 2)
+ASSERTION_PREFIX = "assertion_violation"
+
+
+class Labels:
+    """Label builders, parameterised by ids.
+
+    The static methods return the exact strings the model emits; they
+    are used both to pre-compute label tables inside
+    :class:`~repro.jackal.model.JackalModel` and to build requirement
+    formulas.
+    """
+
+    # -- thread life cycle -------------------------------------------------
+
+    @staticmethod
+    def write(tid: int) -> str:
+        """Thread ``tid`` starts a write (the paper's ``write(t)``)."""
+        return f"write(t{tid})"
+
+    @staticmethod
+    def writeover(tid: int) -> str:
+        """Thread ``tid`` completes a write (``writeover(t)``)."""
+        return f"writeover(t{tid})"
+
+    @staticmethod
+    def flush(tid: int) -> str:
+        """Thread ``tid`` reaches its synchronisation point."""
+        return f"flush(t{tid})"
+
+    @staticmethod
+    def flushover(tid: int) -> str:
+        """Thread ``tid`` completes its flush."""
+        return f"flushover(t{tid})"
+
+    # -- protocol locks ------------------------------------------------------
+
+    @staticmethod
+    def lock_server(tid: int, pid: int) -> str:
+        return f"lock_server(t{tid},p{pid})"
+
+    @staticmethod
+    def lock_fault(tid: int, pid: int) -> str:
+        return f"lock_fault(t{tid},p{pid})"
+
+    @staticmethod
+    def lock_flush(tid: int, pid: int) -> str:
+        return f"lock_flush(t{tid},p{pid})"
+
+    @staticmethod
+    def restart_write(tid: int) -> str:
+        """Server-lock holder found the home migrated away; retry."""
+        return f"restart_write(t{tid})"
+
+    @staticmethod
+    def fault_to_server(tid: int) -> str:
+        """Error-1 fix: fault-lock holder is now at home; switch locks."""
+        return f"fault_to_server(t{tid})"
+
+    @staticmethod
+    def stale_remote_wait(tid: int) -> str:
+        """Error-1 bug: fault-lock holder waits for a reply that will
+        never come (its access check found a valid local copy, so no
+        Data Request was issued)."""
+        return f"stale_remote_wait(t{tid})"
+
+    # -- messages --------------------------------------------------------------
+
+    @staticmethod
+    def send_datareq(tid: int, src: int, dst: int) -> str:
+        return f"send_datareq(t{tid},p{src},p{dst})"
+
+    @staticmethod
+    def send_dataret(pid: int, dst: int) -> str:
+        return f"send_dataret(p{pid},p{dst})"
+
+    @staticmethod
+    def send_dataret_mig(pid: int, dst: int) -> str:
+        """Data Return that also migrates the home (case 1 of §4.4)."""
+        return f"send_dataret_mig(p{pid},p{dst})"
+
+    @staticmethod
+    def send_flush(tid: int, src: int, dst: int) -> str:
+        return f"send_flush(t{tid},p{src},p{dst})"
+
+    @staticmethod
+    def forward_req(pid: int, dst: int) -> str:
+        return f"forward_req(p{pid},p{dst})"
+
+    @staticmethod
+    def forward_flush(pid: int, dst: int) -> str:
+        return f"forward_flush(p{pid},p{dst})"
+
+    @staticmethod
+    def signal(tid: int, pid: int) -> str:
+        """Remote queue handler wakes the waiting thread (paper's
+        ``r_signal``)."""
+        return f"signal(t{tid},p{pid})"
+
+    @staticmethod
+    def recv_sponmigrate(pid: int) -> str:
+        return f"recv_sponmigrate(p{pid})"
+
+    @staticmethod
+    def flush_recv(pid: int) -> str:
+        """Home processed a Flush message."""
+        return f"flush_recv(p{pid})"
+
+    @staticmethod
+    def flush_recv_migrate(pid: int, dst: int) -> str:
+        """Home processed a Flush and migrated (case 2 of §4.4)."""
+        return f"flush_recv_migrate(p{pid},p{dst})"
+
+    @staticmethod
+    def flush_home(tid: int, pid: int) -> str:
+        """At-home flush performed locally by a thread."""
+        return f"flush_home(t{tid},p{pid})"
+
+    @staticmethod
+    def flush_home_migrate(tid: int, pid: int, dst: int) -> str:
+        """At-home flush that triggered case-2 migration."""
+        return f"flush_home_migrate(t{tid},p{pid},p{dst})"
+
+    # -- queue handler locks ------------------------------------------------
+
+    @staticmethod
+    def lock_homequeue(pid: int) -> str:
+        return f"lock_homequeue(p{pid})"
+
+    @staticmethod
+    def lock_remotequeue(pid: int) -> str:
+        return f"lock_remotequeue(p{pid})"
+
+    # -- assertions -------------------------------------------------------------
+
+    @staticmethod
+    def assertion(name: str) -> str:
+        return f"{ASSERTION_PREFIX}({name})"

@@ -1,0 +1,368 @@
+"""muCRL-style algebraic specifications of protocol components.
+
+The paper presents its model as muCRL process definitions (Tables 1-6).
+This module rebuilds representative fragments in :mod:`repro.algebra`,
+at the paper's own granularity, so the algebraic toolchain can be
+demonstrated and cross-checked against the direct state-machine model:
+
+* :func:`region_spec` — Table 2: a region process serialising accesses
+  through ``sendback`` / ``refresh`` / ``norefresh`` handshakes;
+* :func:`locker_spec` — Table 6: a protocol lock manager granting fault
+  and flush locks under their mutual exclusion, with waiting counts;
+* :func:`thread_write_remote_spec` — Table 1: a thread writing a region
+  from remote (require fault lock, ask the home for a copy, refresh,
+  release);
+* :func:`locker_system` / :func:`region_system` — closed compositions
+  (threads | locker | region) with the communication function and
+  encapsulation set up as in the paper.
+
+These systems are intentionally small (the paper's full composition is
+reproduced by :mod:`repro.jackal.model`); they demonstrate the
+specification style and are verified for deadlock freedom and mutual
+exclusion in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import (
+    Act,
+    Alt,
+    Call,
+    Comm,
+    Cond,
+    Delta,
+    DVar,
+    Encap,
+    FiniteSort,
+    Fn,
+    Par,
+    ProcessDef,
+    Seq,
+    Spec,
+    SpecSystem,
+    Sum,
+)
+from repro.algebra.composition import par_all
+
+
+def _eq(a, b):
+    return Fn("eq", lambda x, y: x == y, a, b)
+
+
+def _and(a, b):
+    return Fn("and", lambda x, y: bool(x and y), a, b)
+
+
+def _not(a):
+    return Fn("not", lambda x: not x, a)
+
+
+def _inc(a):
+    return Fn("S", lambda x: x + 1, a)
+
+
+def _dec(a):
+    return Fn("sub1", lambda x: max(0, x - 1), a)
+
+
+def _gt0(a):
+    return Fn("gt0", lambda x: x > 0, a)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: the region process
+# ---------------------------------------------------------------------------
+
+
+def region_spec(thread_ids: tuple[int, ...] = (0, 1)) -> Spec:
+    """A region serialising thread accesses, as in the paper's Table 2.
+
+    ``Region(home)`` hands its current record to one thread at a time
+    via ``s_sendback(tid, home)``; the thread answers with
+    ``r_norefresh(tid)`` (nothing changed) or ``r_refresh(tid, home')``
+    (record updated — here abstracted to the home field, the part the
+    paper's requirements are about).
+    """
+    tids = FiniteSort("TID", thread_ids)
+    pids = FiniteSort("PID", (0, 1))
+    body = Sum(
+        "tid",
+        tids,
+        Seq(
+            Act("s_sendback", DVar("tid"), DVar("home")),
+            Alt(
+                Seq(Act("r_norefresh", DVar("tid")), Call("Region", DVar("home"))),
+                Sum(
+                    "h",
+                    pids,
+                    Seq(
+                        Act("r_refresh", DVar("tid"), DVar("h")),
+                        Call("Region", DVar("h")),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Spec(defs=[ProcessDef("Region", ("home",), body)])
+
+
+def region_system(thread_ids: tuple[int, ...] = (0, 1), home: int = 0) -> SpecSystem:
+    """Two threads repeatedly reading/updating the region record.
+
+    Each thread grabs the record, then either leaves it or moves the
+    home to its own processor (thread ``t`` lives on processor ``t``).
+    """
+    spec_defs = list(region_spec(thread_ids).defs)
+    tids = FiniteSort("TID", thread_ids)
+
+    # Thread(tid): r_sendback(tid, h) . (s_norefresh(tid) + s_refresh(tid, tid)) . Thread(tid)
+    pids = FiniteSort("PID", (0, 1))
+    thread_body = Sum(
+        "h",
+        pids,
+        Seq(
+            Act("r_sendback", DVar("tid"), DVar("h")),
+            Alt(
+                Seq(Act("s_norefresh", DVar("tid")), Call("AThread", DVar("tid"))),
+                Seq(
+                    Act("s_refresh", DVar("tid"), DVar("tid")),
+                    Call("AThread", DVar("tid")),
+                ),
+            ),
+        ),
+    )
+    spec_defs.append(ProcessDef("AThread", ("tid",), thread_body))
+    spec = Spec(defs=spec_defs)
+    comm = Comm(
+        ("s_sendback", "r_sendback", "c_sendback"),
+        ("s_norefresh", "r_norefresh", "c_norefresh"),
+        ("s_refresh", "r_refresh", "c_refresh"),
+    )
+    init = Encap(
+        ["s_sendback", "r_sendback", "s_norefresh", "r_norefresh",
+         "s_refresh", "r_refresh"],
+        par_all(
+            [Call("Region", home)] + [Call("AThread", t) for t in thread_ids],
+            comm,
+        ),
+    )
+    return SpecSystem(spec, init)
+
+
+# ---------------------------------------------------------------------------
+# Table 6: the protocol lock manager
+# ---------------------------------------------------------------------------
+
+
+def locker_spec(max_wait: int = 2) -> Spec:
+    """The fault/flush lock manager of the paper's Table 6 (two of the
+    five locks — the pair whose mutual exclusion matters for non-home
+    writes).
+
+    ``Locker(faulters, flushers, wf, wl)`` tracks whether each lock is
+    held and how many threads wait for it; a request is granted
+    immediately (``s_no_*wait``) when the exclusion allows, otherwise
+    the waiting count rises and a later release signals a waiter
+    (``s_signal_*wait``), exactly the paper's scheme of modelling
+    waiting lists as naturals.
+    """
+    nat = FiniteSort("Nat", tuple(range(max_wait + 1)))
+    del nat  # counts are plain data; the sort bounds tests' configurations
+
+    faulters = DVar("faulters")
+    flushers = DVar("flushers")
+    wf = DVar("wf")
+    wl = DVar("wl")
+
+    grantable_fault = _not(Fn("or", lambda a, b: bool(a or b), faulters, flushers))
+    grantable_flush = _not(Fn("or", lambda a, b: bool(a or b), faulters, flushers))
+
+    body = Alt(
+        Alt(
+            # fault lock request
+            Seq(
+                Act("r_require_faultlock"),
+                Cond(
+                    Seq(
+                        Act("s_no_faultwait"),
+                        Call("Locker", True, flushers, wf, wl),
+                    ),
+                    grantable_fault,
+                    Seq(
+                        Act("queued_fault"),
+                        Call("Locker", faulters, flushers, _inc(wf), wl),
+                    ),
+                ),
+            ),
+            # flush lock request
+            Seq(
+                Act("r_require_flushlock"),
+                Cond(
+                    Seq(
+                        Act("s_no_flushwait"),
+                        Call("Locker", faulters, True, wf, wl),
+                    ),
+                    grantable_flush,
+                    Seq(
+                        Act("queued_flush"),
+                        Call("Locker", faulters, flushers, wf, _inc(wl)),
+                    ),
+                ),
+            ),
+        ),
+        Alt(
+            # fault lock release: maybe signal a waiter
+            Seq(
+                Act("r_free_faultlock"),
+                Cond(
+                    Seq(
+                        Act("s_signal_faultwait"),
+                        Call("Locker", True, flushers, _dec(wf), wl),
+                    ),
+                    _and(_gt0(wf), _not(flushers)),
+                    Cond(
+                        Seq(
+                            Act("s_signal_flushwait"),
+                            Call("Locker", False, True, wf, _dec(wl)),
+                        ),
+                        _and(_gt0(wl), _not(flushers)),
+                        Call("Locker", False, flushers, wf, wl),
+                    ),
+                ),
+            ),
+            # flush lock release: maybe signal a waiter
+            Seq(
+                Act("r_free_flushlock"),
+                Cond(
+                    Seq(
+                        Act("s_signal_flushwait"),
+                        Call("Locker", faulters, True, wf, _dec(wl)),
+                    ),
+                    _and(_gt0(wl), _not(faulters)),
+                    Cond(
+                        Seq(
+                            Act("s_signal_faultwait"),
+                            Call("Locker", True, False, _dec(wf), wl),
+                        ),
+                        _and(_gt0(wf), _not(faulters)),
+                        Call("Locker", faulters, False, wf, wl),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Spec(
+        defs=[ProcessDef("Locker", ("faulters", "flushers", "wf", "wl"), body)]
+    )
+
+
+def locker_system(n_faulters: int = 1, n_flushers: int = 1) -> SpecSystem:
+    """Threads contending for the fault and flush locks of one
+    processor, composed with the Table-6 lock manager.
+
+    A fault client loops: require fault lock, (granted now or signalled
+    later), do ``fault_cs`` (the critical section), release. Flush
+    clients mirror it with ``flush_cs``. The test suite checks mutual
+    exclusion of ``fault_cs``/``flush_cs`` and deadlock freedom.
+    """
+    defs = list(locker_spec(max_wait=n_faulters + n_flushers).defs)
+    defs.append(
+        ProcessDef(
+            "FaultClient",
+            (),
+            Seq(
+                Act("s_require_faultlock"),
+                Seq(
+                    Alt(Act("r_no_faultwait"), Act("r_signal_faultwait")),
+                    Seq(
+                        Act("fault_cs"),
+                        Seq(Act("s_free_faultlock"), Call("FaultClient")),
+                    ),
+                ),
+            ),
+        )
+    )
+    defs.append(
+        ProcessDef(
+            "FlushClient",
+            (),
+            Seq(
+                Act("s_require_flushlock"),
+                Seq(
+                    Alt(Act("r_no_flushwait"), Act("r_signal_flushwait")),
+                    Seq(
+                        Act("flush_cs"),
+                        Seq(Act("s_free_flushlock"), Call("FlushClient")),
+                    ),
+                ),
+            ),
+        )
+    )
+    spec = Spec(defs=defs)
+    comm = Comm(
+        ("s_require_faultlock", "r_require_faultlock", "c_require_faultlock"),
+        ("s_require_flushlock", "r_require_flushlock", "c_require_flushlock"),
+        ("s_no_faultwait", "r_no_faultwait", "c_no_faultwait"),
+        ("s_no_flushwait", "r_no_flushwait", "c_no_flushwait"),
+        ("s_signal_faultwait", "r_signal_faultwait", "c_signal_faultwait"),
+        ("s_signal_flushwait", "r_signal_flushwait", "c_signal_flushwait"),
+        ("s_free_faultlock", "r_free_faultlock", "c_free_faultlock"),
+        ("s_free_flushlock", "r_free_flushlock", "c_free_flushlock"),
+    )
+    hidden = [
+        "s_require_faultlock", "r_require_faultlock",
+        "s_require_flushlock", "r_require_flushlock",
+        "s_no_faultwait", "r_no_faultwait",
+        "s_no_flushwait", "r_no_flushwait",
+        "s_signal_faultwait", "r_signal_faultwait",
+        "s_signal_flushwait", "r_signal_flushwait",
+        "s_free_faultlock", "r_free_faultlock",
+        "s_free_flushlock", "r_free_flushlock",
+    ]
+    clients = [Call("FaultClient") for _ in range(n_faulters)] + [
+        Call("FlushClient") for _ in range(n_flushers)
+    ]
+    init = Encap(
+        hidden,
+        par_all([Call("Locker", False, False, 0, 0)] + clients, comm),
+    )
+    return SpecSystem(spec, init)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: a thread writing from remote (documentation-grade fragment)
+# ---------------------------------------------------------------------------
+
+
+def thread_write_remote_spec() -> Spec:
+    """The paper's Table 1 fragment: WriteRemote.
+
+    ``WriteRemote(tid, pid)`` requires the fault lock, asks the home
+    for a fresh copy, waits for the signalled arrival, refreshes and
+    releases. Kept at the paper's granularity for demonstration; the
+    full behaviour (with migration races) lives in
+    :mod:`repro.jackal.model`.
+    """
+    body = Seq(
+        Act("s_require_faultlock", DVar("pid")),
+        Seq(
+            Alt(
+                Act("r_no_faultwait", DVar("pid")),
+                Act("r_signal_faultwait", DVar("pid")),
+            ),
+            Seq(
+                Act("s_data_requiremsg", DVar("tid"), DVar("pid")),
+                Seq(
+                    Act("r_signal", DVar("tid"), DVar("pid")),
+                    Seq(
+                        Act("s_refresh", DVar("tid"), DVar("pid")),
+                        Seq(
+                            Act("s_free_faultlock", DVar("pid")),
+                            Call("WriteRemote", DVar("tid"), DVar("pid")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Spec(defs=[ProcessDef("WriteRemote", ("tid", "pid"), body)])

@@ -1,0 +1,202 @@
+"""Configurations and protocol variants.
+
+The paper analyses three configurations (Table 8):
+
+* **C1** — two processors, one thread each;
+* **C2** — two processors, one with two threads, one with one;
+* **C3** — three processors, one thread each;
+
+all with a single region. :data:`CONFIG_1`, :data:`CONFIG_2` and
+:data:`CONFIG_3` are those configurations with the paper's defaults.
+
+A :class:`ProtocolVariant` selects which of the two historical bug fixes
+are applied, plus an ablation switch for automatic home migration
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ProtocolVariant:
+    """Which protocol behaviours are active.
+
+    Attributes
+    ----------
+    fault_lock_recheck:
+        The fix for **Error 1**: after a thread obtains the fault lock
+        it re-checks whether it still writes from remote; if the home
+        migrated to its own processor meanwhile, it releases the fault
+        lock and acquires the server lock instead. When false, the
+        thread blindly continues down the remote-write path: the access
+        check inside the fault handler then finds a valid local copy, no
+        Data Request is issued, and the thread waits forever for a Data
+        Return that will never come (the paper's deadlock).
+    sponmigrate_informs_threads:
+        The fix for **Error 2**: a processor receiving a Region
+        Sponmigrate message informs local threads that are writing to
+        the region at the previous home, so they complete as at-home
+        writers. When false, a subsequently delivered Data Return
+        overwrites the region's home with the sender of the reply,
+        after which no processor is the home (the paper's Requirement
+        3.2 violation).
+    home_migration:
+        Ablation switch: when false, automatic home node migration
+        (Section 4.4 of the paper) is disabled entirely; both bugs then
+        become unreachable and the state space shrinks.
+    adaptive_lazy_flushing:
+        The runtime optimisation of the paper's Section 4.5 (which the
+        paper deliberately did *not* model): regions accessed by a
+        single processor skip the protocol-lock machinery — an at-home
+        write to a region with no remote writers completes without the
+        server lock, and a synchronisation point whose flush list holds
+        only such regions skips the flush lock. Both fast paths re-check
+        their eligibility atomically at completion and fall back to the
+        locked path when a remote writer appeared meanwhile.
+    """
+
+    fault_lock_recheck: bool = True
+    sponmigrate_informs_threads: bool = True
+    home_migration: bool = True
+    adaptive_lazy_flushing: bool = False
+
+    @staticmethod
+    def fixed() -> "ProtocolVariant":
+        """The repaired protocol (both fixes applied)."""
+        return ProtocolVariant(True, True, True)
+
+    @staticmethod
+    def buggy() -> "ProtocolVariant":
+        """The original implementation (both errors present)."""
+        return ProtocolVariant(False, False, True)
+
+    @staticmethod
+    def error1() -> "ProtocolVariant":
+        """Only Error 1 present (fault-lock recheck missing)."""
+        return ProtocolVariant(False, True, True)
+
+    @staticmethod
+    def error2() -> "ProtocolVariant":
+        """Only Error 2 present (sponmigrate does not inform threads)."""
+        return ProtocolVariant(True, False, True)
+
+    @staticmethod
+    def no_migration() -> "ProtocolVariant":
+        """Home migration disabled (ablation baseline)."""
+        return ProtocolVariant(True, True, False)
+
+    @staticmethod
+    def alf() -> "ProtocolVariant":
+        """The repaired protocol plus adaptive lazy flushing (§4.5)."""
+        return ProtocolVariant(True, True, True, adaptive_lazy_flushing=True)
+
+    def describe(self) -> str:
+        """Short human-readable tag."""
+        suffix = "+alf" if self.adaptive_lazy_flushing else ""
+        if not self.home_migration:
+            return "no-migration" + suffix
+        bugs = []
+        if not self.fault_lock_recheck:
+            bugs.append("error1")
+        if not self.sponmigrate_informs_threads:
+            bugs.append("error2")
+        return ("+".join(bugs) if bugs else "fixed") + suffix
+
+
+@dataclass(frozen=True)
+class Config:
+    """A protocol configuration.
+
+    Attributes
+    ----------
+    threads_per_processor:
+        One entry per processor; entry ``p`` is the number of threads
+        running on processor ``p``. The number of processors is implied.
+    n_regions:
+        Number of shared regions (the paper analyses one).
+    initial_home:
+        Processor that creates the region(s) and is their initial home.
+    rounds:
+        Number of write+flush rounds each thread performs; ``None``
+        makes threads cyclic (the muCRL specification's recursive
+        threads). Bounded rounds are required for the paper's exact
+        inevitability formulas of Requirement 4 to be satisfiable under
+        an unfair scheduler — see DESIGN.md item 7.
+    writes_per_round:
+        Writes a thread performs (each to a nondeterministically chosen
+        region) before it reaches its synchronisation point and flushes.
+    with_probes:
+        Add the observability self-loops (``c_home``, ``c_copy``,
+        ``lock_empty``, ``homequeue_empty``, ``remotequeue_empty``) used
+        by Requirement 3, mirroring the paper's probe actions of
+        Section 5.4.3.
+    """
+
+    threads_per_processor: tuple[int, ...] = (1, 1)
+    n_regions: int = 1
+    initial_home: int = 0
+    rounds: int | None = 1
+    writes_per_round: int = 1
+    with_probes: bool = True
+
+    def __post_init__(self):
+        if not self.threads_per_processor:
+            raise ModelError("need at least one processor")
+        if any(t < 0 for t in self.threads_per_processor):
+            raise ModelError("negative thread count")
+        if sum(self.threads_per_processor) == 0:
+            raise ModelError("need at least one thread")
+        if self.n_regions < 1:
+            raise ModelError("need at least one region")
+        if not (0 <= self.initial_home < self.n_processors):
+            raise ModelError(
+                f"initial_home {self.initial_home} out of range "
+                f"(have {self.n_processors} processors)"
+            )
+        if self.rounds is not None and self.rounds < 1:
+            raise ModelError("rounds must be >= 1 or None")
+        if self.writes_per_round < 1:
+            raise ModelError("writes_per_round must be >= 1")
+
+    @property
+    def n_processors(self) -> int:
+        """Number of processors."""
+        return len(self.threads_per_processor)
+
+    @property
+    def n_threads(self) -> int:
+        """Total number of threads."""
+        return sum(self.threads_per_processor)
+
+    def processor_of(self, tid: int) -> int:
+        """The processor a global thread id runs on."""
+        p = 0
+        acc = 0
+        for p, cnt in enumerate(self.threads_per_processor):
+            if tid < acc + cnt:
+                return p
+            acc += cnt
+        raise ModelError(f"thread id {tid} out of range")
+
+    def thread_ids_of(self, pid: int) -> list[int]:
+        """Global thread ids running on processor ``pid``."""
+        start = sum(self.threads_per_processor[:pid])
+        return list(range(start, start + self.threads_per_processor[pid]))
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``2p(1+1)x1r``."""
+        threads = "+".join(map(str, self.threads_per_processor))
+        r = "inf" if self.rounds is None else str(self.rounds)
+        return f"{self.n_processors}p({threads})x{self.n_regions}reg,rounds={r}"
+
+
+#: the paper's configuration 1: two processors, one thread each
+CONFIG_1 = Config(threads_per_processor=(1, 1))
+#: the paper's configuration 2: two threads on one processor, one on the other
+CONFIG_2 = Config(threads_per_processor=(2, 1))
+#: the paper's configuration 3: three processors, one thread each
+CONFIG_3 = Config(threads_per_processor=(1, 1, 1))

@@ -1,0 +1,415 @@
+"""The paper's four requirements as executable checks (Section 5.3/5.4).
+
+1. **Deadlock freeness** — no reachable improper terminal state.
+2. **Assertion checking** — no ``assertion_violation(...)`` reachable.
+3. **Relaxed cache coherence** — 3.1: at most one home per region
+   (``[T*.c_home] F``); 3.2: no *stable* state (no lock held, queues
+   empty) in which two processors hold non-home copies.
+4. **Liveness** — writes and flushes complete: the paper's exact
+   inevitability formulas on bounded-round models, or the fair
+   reformulation (completion stays reachable) on cyclic models.
+
+Each check returns a :class:`RequirementReport` carrying the verdict,
+the sizes of the LTS analysed, and a diagnostic trace when the
+requirement fails — the reproduction of the paper's error traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.jackal.actions import ASSERTION_PREFIX, PROBE_LABELS, Labels
+from repro.jackal.model import VIOLATION, JackalModel
+from repro.jackal.params import Config, ProtocolVariant
+from repro.lts.deadlock import find_deadlocks, shortest_trace_to
+from repro.lts.explore import explore
+from repro.lts.lts import LTS
+from repro.lts.trace import Trace
+from repro.mucalc.checker import holds
+from repro.mucalc.diagnostics import counterexample_box, witness_diamond
+from repro.mucalc.syntax import (
+    ActLit,
+    And,
+    AnyAct,
+    Box,
+    Diamond,
+    Ff,
+    Formula,
+    Mu,
+    NotAct,
+    RAct,
+    RSeq,
+    RStar,
+    Tt,
+    Var,
+)
+
+
+@dataclass
+class RequirementReport:
+    """Outcome of one requirement check."""
+
+    requirement: str
+    holds: bool
+    detail: str
+    trace: Trace | None = None
+    lts_states: int = 0
+    lts_transitions: int = 0
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "HOLDS" if self.holds else "VIOLATED"
+        extra = f" — {self.detail}" if self.detail else ""
+        return f"requirement {self.requirement}: {verdict}{extra}"
+
+
+def build_model(
+    config: Config, variant: ProtocolVariant, *, probes: bool
+) -> JackalModel:
+    """A model with the probe self-loops forced on or off.
+
+    Probes are needed by Requirement 3 and poisonous to Requirement 4
+    (a probe self-loop is an infinite path avoiding every thread
+    action), so each check selects its own setting.
+    """
+    cfg = replace(config, with_probes=probes)
+    return JackalModel(cfg, variant)
+
+
+def build_lts(
+    config: Config,
+    variant: ProtocolVariant,
+    *,
+    probes: bool,
+    max_states: int | None = None,
+    keep_states: bool = False,
+) -> tuple[JackalModel, LTS]:
+    """Explore the protocol into an explicit LTS."""
+    model = build_model(config, variant, probes=probes)
+    lts = explore(model, max_states=max_states, keep_states=keep_states)
+    return model, lts
+
+
+# ---------------------------------------------------------------------------
+# requirement 1: deadlock freeness
+# ---------------------------------------------------------------------------
+
+
+def check_requirement_1(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    lts: LTS | None = None,
+    model: JackalModel | None = None,
+) -> RequirementReport:
+    """The protocol never wedges (improper terminal states unreachable)."""
+    if lts is None or model is None:
+        model, lts = build_lts(
+            config, variant, probes=False, max_states=max_states, keep_states=True
+        )
+    # assertion-violation sink states belong to Requirement 2, not here
+    report = find_deadlocks(
+        lts,
+        ignore_labels=PROBE_LABELS,
+        is_valid_end=lambda s: s == VIOLATION or model.is_done_state(s),
+    )
+    return RequirementReport(
+        requirement="1 (deadlock freeness)",
+        holds=report.deadlock_free,
+        detail=report.summary(),
+        trace=report.shortest_trace,
+        lts_states=lts.n_states,
+        lts_transitions=lts.n_transitions,
+    )
+
+
+def check_requirement_1_bitstate(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    table_bytes: int = 1 << 24,
+    max_states: int | None = None,
+) -> RequirementReport:
+    """Approximate deadlock search by bitstate (supertrace) hashing.
+
+    For configurations whose exact LTS exceeds memory — the situation
+    the paper faced with its third configuration and the muCRL
+    toolset's "state-bit hashing" addresses. Hash collisions can only
+    *omit* states, so a reported deadlock is real, while a clean sweep
+    is strong (not absolute) evidence of deadlock freedom; the fill
+    ratio in the detail line quantifies the omission risk.
+    """
+    from repro.lts.bitstate import bitstate_explore
+
+    model = build_model(config, variant, probes=False)
+    res = bitstate_explore(
+        model,
+        table_bytes=table_bytes,
+        max_states=max_states,
+        is_valid_end=lambda s: s == VIOLATION or model.is_done_state(s),
+    )
+    detail = (
+        f"~{res.visited:,} states swept, {res.deadlocks} improper "
+        f"terminal(s), fill {res.fill_ratio:.4f}"
+    )
+    return RequirementReport(
+        requirement="1 (deadlock freeness, bitstate approximation)",
+        holds=res.deadlocks == 0,
+        detail=detail,
+        lts_states=res.visited,
+        lts_transitions=res.transitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# requirement 2: assertions
+# ---------------------------------------------------------------------------
+
+
+def check_requirement_2(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    lts: LTS | None = None,
+) -> RequirementReport:
+    """No assertion from the protocol description is violated."""
+    if lts is None:
+        _model, lts = build_lts(
+            config, variant, probes=False, max_states=max_states
+        )
+    violated = [l for l in lts.labels if l.startswith(ASSERTION_PREFIX)]
+    trace = None
+    if violated:
+        # shortest trace to any state enabling an assertion violation
+        bad = {
+            t.src
+            for t in lts.transitions()
+            if t.label.startswith(ASSERTION_PREFIX)
+        }
+        trace = shortest_trace_to(lts, bad)
+    return RequirementReport(
+        requirement="2 (assertions)",
+        holds=not violated,
+        detail=("violated: " + ", ".join(sorted(violated))) if violated else "",
+        trace=trace,
+        lts_states=lts.n_states,
+        lts_transitions=lts.n_transitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# requirement 3: relaxed cache coherence
+# ---------------------------------------------------------------------------
+
+
+def formula_3_1() -> Formula:
+    """The paper's 3.1: ``[T*.c_home] F``."""
+    return Box(RSeq(RStar(RAct(AnyAct())), RAct(ActLit("c_home"))), Ff())
+
+
+def formula_3_2_bad_state() -> Formula:
+    """The paper's 3.2 existence formula:
+    ``<T*> (<c_copy>T /\\ <lock_empty>T /\\ <homequeue_empty>T /\\
+    <remotequeue_empty>T)`` — requirement 3.2 holds iff this is FALSE."""
+    probes = And(
+        And(
+            Diamond(RAct(ActLit("c_copy")), Tt()),
+            Diamond(RAct(ActLit("lock_empty")), Tt()),
+        ),
+        And(
+            Diamond(RAct(ActLit("homequeue_empty")), Tt()),
+            Diamond(RAct(ActLit("remotequeue_empty")), Tt()),
+        ),
+    )
+    return Diamond(RStar(RAct(AnyAct())), probes)
+
+
+def check_requirement_3_1(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    lts: LTS | None = None,
+) -> RequirementReport:
+    """Each region has at most one home node at any time."""
+    if lts is None:
+        _model, lts = build_lts(config, variant, probes=True, max_states=max_states)
+    f = formula_3_1()
+    ok = holds(lts, f)
+    trace = None
+    if not ok:
+        trace = counterexample_box(lts, f.reg, f.inner)
+    return RequirementReport(
+        requirement="3.1 (at most one home)",
+        holds=ok,
+        detail="" if ok else "two processors simultaneously claim the home",
+        trace=trace,
+        lts_states=lts.n_states,
+        lts_transitions=lts.n_transitions,
+    )
+
+
+def check_requirement_3_2(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    lts: LTS | None = None,
+) -> RequirementReport:
+    """In a stable state a region has at most ``n - 1`` copies.
+
+    As in the paper, only meaningful for two-processor configurations
+    (``c_copy`` there means the home was lost).
+    """
+    if config.n_processors != 2:
+        return RequirementReport(
+            requirement="3.2 (bounded copies when stable)",
+            holds=True,
+            detail="skipped: formulated (as in the paper) for 2 processors",
+        )
+    if lts is None:
+        _model, lts = build_lts(config, variant, probes=True, max_states=max_states)
+    f = formula_3_2_bad_state()
+    bad_reachable = holds(lts, f)
+    trace = None
+    if bad_reachable:
+        trace = witness_diamond(lts, f.reg, f.inner)
+    return RequirementReport(
+        requirement="3.2 (bounded copies when stable)",
+        holds=not bad_reachable,
+        detail=(
+            "stable state with no home reached" if bad_reachable else ""
+        ),
+        trace=trace,
+        lts_states=lts.n_states,
+        lts_transitions=lts.n_transitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# requirement 4: liveness
+# ---------------------------------------------------------------------------
+
+
+def formula_4_write(tid: int, *, fair: bool = False) -> Formula:
+    """The paper's 4.1 for thread ``tid``:
+    ``[T*.write(t)] mu X. (<T>T /\\ [not writeover(t)] X)``.
+
+    With ``fair=True``, the fair reformulation for cyclic models:
+    ``[T*.write(t).(not writeover(t))*] <(not writeover(t))*.writeover(t)> T``
+    (completion remains reachable while it has not happened).
+    """
+    return _inevitability(Labels.write(tid), Labels.writeover(tid), fair)
+
+
+def formula_4_flush(tid: int, *, fair: bool = False) -> Formula:
+    """The paper's 4.2 for thread ``tid`` (flush completion)."""
+    return _inevitability(Labels.flush(tid), Labels.flushover(tid), fair)
+
+
+def _inevitability(start: str, finish: str, fair: bool) -> Formula:
+    t_star = RStar(RAct(AnyAct()))
+    after_start = RSeq(t_star, RAct(ActLit(start)))
+    not_finish = RAct(NotAct(ActLit(finish)))
+    if fair:
+        pending = RSeq(after_start, RStar(not_finish))
+        can_finish = Diamond(
+            RSeq(RStar(not_finish), RAct(ActLit(finish))), Tt()
+        )
+        return Box(pending, can_finish)
+    inner = Mu(
+        "X",
+        And(Diamond(RAct(AnyAct()), Tt()), Box(not_finish, Var("X"))),
+    )
+    return Box(after_start, inner)
+
+
+def check_requirement_4(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    lts: LTS | None = None,
+) -> RequirementReport:
+    """Writes and flushes eventually complete for every thread.
+
+    On failure the report carries a *lasso* witness when one exists: a
+    prefix plus an unproductive cycle — the "request bounced around the
+    network forever" the paper's Requirement 4 forbids, rendered as a
+    concrete run (the flush storm of Error 2 shows up this way).
+    """
+    fair = config.rounds is None
+    if lts is None:
+        _model, lts = build_lts(config, variant, probes=False, max_states=max_states)
+    failures = []
+    for tid in range(config.n_threads):
+        if not holds(lts, formula_4_write(tid, fair=fair)):
+            failures.append(f"write(t{tid})")
+        if not holds(lts, formula_4_flush(tid, fair=fair)):
+            failures.append(f"flush(t{tid})")
+    trace = None
+    if failures:
+        from repro.lts.cycles import find_lasso_avoiding
+
+        progress = [
+            l
+            for l in lts.labels
+            if l.startswith(("writeover", "flushover"))
+        ]
+        lasso = find_lasso_avoiding(lts, progress)
+        if lasso is not None:
+            trace = Trace(lasso.prefix.labels + lasso.cycle.labels)
+    mode = "fair" if fair else "exact"
+    return RequirementReport(
+        requirement=f"4 (liveness, {mode})",
+        holds=not failures,
+        detail=("not inevitable: " + ", ".join(failures)) if failures else "",
+        trace=trace,
+        lts_states=lts.n_states,
+        lts_transitions=lts.n_transitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# all together
+# ---------------------------------------------------------------------------
+
+
+def check_all_requirements(
+    config: Config,
+    variant: ProtocolVariant = ProtocolVariant.fixed(),
+    *,
+    max_states: int | None = None,
+    skip: tuple[str, ...] = (),
+) -> dict[str, RequirementReport]:
+    """Run requirements 1-4, sharing the two LTS explorations.
+
+    ``skip`` may name requirement keys (``"1"``, ``"2"``, ``"3.1"``,
+    ``"3.2"``, ``"4"``) to omit — the paper could only check 1 and 2 on
+    its third configuration.
+    """
+    out: dict[str, RequirementReport] = {}
+    plain_model = plain_lts = None
+    if not {"1", "2", "4"} <= set(skip):
+        plain_model, plain_lts = build_lts(
+            config, variant, probes=False, max_states=max_states, keep_states=True
+        )
+    if "1" not in skip:
+        out["1"] = check_requirement_1(
+            config, variant, lts=plain_lts, model=plain_model
+        )
+    if "2" not in skip:
+        out["2"] = check_requirement_2(config, variant, lts=plain_lts)
+    if "3.1" not in skip or "3.2" not in skip:
+        _m, probe_lts = build_lts(
+            config, variant, probes=True, max_states=max_states
+        )
+        if "3.1" not in skip:
+            out["3.1"] = check_requirement_3_1(config, variant, lts=probe_lts)
+        if "3.2" not in skip:
+            out["3.2"] = check_requirement_3_2(config, variant, lts=probe_lts)
+    if "4" not in skip:
+        out["4"] = check_requirement_4(config, variant, lts=plain_lts)
+    return out

@@ -1,0 +1,108 @@
+"""Protocol traffic statistics over explored state spaces.
+
+Automatic home node migration exists "to decrease synchronization
+traffic" (paper §4.4). These helpers quantify the protocol's traffic
+mix over an explored LTS — how many transitions are data requests,
+returns, migrations (by trigger case), forwards and flushes — which the
+ablation benchmark uses to show what migration adds and costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lts.lts import LTS
+
+#: label prefix -> category
+_CATEGORIES: tuple[tuple[str, str], ...] = (
+    ("send_datareq(", "data_request"),
+    ("send_dataret_mig(", "migration_case1"),
+    ("send_dataret(", "data_return"),
+    ("flush_home_migrate(", "migration_case2"),
+    ("flush_recv_migrate(", "migration_case2"),
+    ("recv_sponmigrate(", "sponmigrate_recv"),
+    ("forward_req(", "forward"),
+    ("forward_flush(", "forward"),
+    ("send_flush(", "remote_flush"),
+    ("flush_home(", "home_flush"),
+    ("flush_recv(", "flush_recv"),
+    ("lock_server(", "lock_grant"),
+    ("lock_fault(", "lock_grant"),
+    ("lock_flush(", "lock_grant"),
+    ("lock_homequeue(", "queue_grant"),
+    ("lock_remotequeue(", "queue_grant"),
+    ("signal(", "signal"),
+    ("write(", "thread_write"),
+    ("writeover(", "thread_write"),
+    ("flush(", "thread_flush"),
+    ("flushover(", "thread_flush"),
+    ("restart_write(", "retry"),
+    ("fault_to_server(", "retry"),
+    ("stale_remote_wait(", "bug_path"),
+    ("assertion_violation(", "assertion"),
+)
+
+
+def categorize_label(label: str) -> str:
+    """The traffic category of a transition label."""
+    for prefix, cat in _CATEGORIES:
+        if label.startswith(prefix):
+            return cat
+    return "probe" if label in (
+        "c_home", "c_copy", "lock_empty", "homequeue_empty",
+        "remotequeue_empty",
+    ) else "other"
+
+
+@dataclass
+class ProtocolStatistics:
+    """Transition counts per traffic category."""
+
+    by_category: dict[str, int] = field(default_factory=dict)
+    total: int = 0
+
+    def count(self, category: str) -> int:
+        """Transitions in ``category`` (0 when absent)."""
+        return self.by_category.get(category, 0)
+
+    @property
+    def migrations(self) -> int:
+        """All home-migration transitions (both trigger cases)."""
+        return self.count("migration_case1") + self.count("migration_case2")
+
+    @property
+    def messages(self) -> int:
+        """All message sends (requests, returns, flushes, migrations,
+        forwards)."""
+        return (
+            self.count("data_request")
+            + self.count("data_return")
+            + self.count("migration_case1")
+            + self.count("migration_case2")
+            + self.count("remote_flush")
+            + self.count("forward")
+        )
+
+    def share(self, category: str) -> float:
+        """Fraction of all transitions in ``category``."""
+        return self.count(category) / self.total if self.total else 0.0
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Table rows, descending by count."""
+        return [
+            {"category": c, "transitions": n,
+             "share": round(n / self.total, 4) if self.total else 0.0}
+            for c, n in sorted(
+                self.by_category.items(), key=lambda kv: -kv[1]
+            )
+        ]
+
+
+def protocol_statistics(lts: LTS) -> ProtocolStatistics:
+    """Categorise every transition of an explored protocol LTS."""
+    stats = ProtocolStatistics()
+    for label, n in lts.label_counts().items():
+        cat = categorize_label(label)
+        stats.by_category[cat] = stats.by_category.get(cat, 0) + n
+        stats.total += n
+    return stats

@@ -1,0 +1,67 @@
+"""Java Memory Model machinery.
+
+The paper's Section 3 describes the (original, JLS chapter 17) Java
+Memory Model: per-thread *working memories* caching a shared *main
+memory*, with eight actions — ``use``, ``assign``, ``lock``, ``unlock``
+invoked by threads and ``load``, ``store``, ``read``, ``write`` invoked
+by the implementation under the chapter's ordering constraints. The
+paper's stated future work is "verifying whether the cache coherence
+protocol implements the JMM".
+
+This subpackage provides both sides of that question:
+
+* :mod:`repro.jmm.machine` — the abstract JMM as a nondeterministic
+  transition system whose reachable final states are the *allowed
+  outcomes* of a small program;
+* :mod:`repro.jmm.dsm` — a value-level simulator of the Jackal runtime
+  (regions with object and twin data, flush lists, diffing, home-based
+  multiple-writer merging) whose outcomes can be enumerated the same
+  way;
+* :mod:`repro.jmm.litmus` — classic litmus programs and the conformance
+  check: every outcome the DSM runtime produces must be allowed by the
+  JMM.
+"""
+
+from repro.jmm.program import Program, ThreadProgram, assign, use, lock, unlock, compute
+from repro.jmm.machine import JMMMachine, allowed_outcomes
+from repro.jmm.dsm import DSMMachine, dsm_outcomes
+from repro.jmm.litmus import (
+    LITMUS_TESTS,
+    LitmusTest,
+    store_buffering,
+    message_passing,
+    message_passing_sync,
+    coherence_single_var,
+    dekker_sync,
+    false_sharing,
+    read_own_write,
+    two_plus_two_w,
+    corr_same_processor,
+    run_conformance,
+)
+
+__all__ = [
+    "Program",
+    "ThreadProgram",
+    "assign",
+    "use",
+    "lock",
+    "unlock",
+    "compute",
+    "JMMMachine",
+    "allowed_outcomes",
+    "DSMMachine",
+    "dsm_outcomes",
+    "LITMUS_TESTS",
+    "LitmusTest",
+    "store_buffering",
+    "message_passing",
+    "message_passing_sync",
+    "coherence_single_var",
+    "dekker_sync",
+    "false_sharing",
+    "read_own_write",
+    "two_plus_two_w",
+    "corr_same_processor",
+    "run_conformance",
+]

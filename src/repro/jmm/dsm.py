@@ -1,0 +1,280 @@
+"""A value-level simulator of the Jackal DSM runtime.
+
+Where :mod:`repro.jackal.model` verifies the *coherence protocol* at the
+paper's data-free abstraction, this module simulates the *runtime
+semantics* that protocol supports (paper Section 4): regions holding
+actual values, software access checks, per-thread flush lists,
+twinning, diffing, and home-based multiple-writer merging:
+
+* shared variables live in *regions* (several variables may share one —
+  Jackal regions are objects or array partitions, so false sharing is
+  the norm, and concurrent writers to one region are merged by diffs);
+* a thread's first access to a non-local region *fetches* an up-to-date
+  copy from the region's home and adds it to the flush list;
+* a remote write first *twins* the region (a pristine snapshot kept for
+  diffing), then updates the working copy;
+* at a synchronisation point (lock/unlock) the thread flushes: for each
+  region on the flush list the difference between working copy and twin
+  is applied to the home copy, and the cached copy is invalidated —
+  self-invalidation, exactly the paper's memory model.
+
+Exploring all interleavings yields the outcome set of the runtime,
+which :func:`repro.jmm.litmus.run_conformance` checks against the
+abstract JMM (the paper's stated future work).
+
+The simulator is per-processor (all threads of one processor share a
+cached copy), matching Jackal.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import ModelError
+from repro.jmm.program import Program
+
+
+class DSMMachine:
+    """A :class:`~repro.lts.explore.TransitionSystem` running a litmus
+    program on the simulated Jackal runtime.
+
+    Parameters
+    ----------
+    program:
+        The litmus program.
+    placement:
+        Processor of each thread, e.g. ``(0, 1)``; defaults to one
+        processor per thread.
+    region_map:
+        Maps each shared variable to a region id; variables mapped to
+        the same region share a cache/twin/diff unit. Default: all
+        variables in one region (maximal false sharing, the hardest
+        case for a multiple-writer protocol).
+    home:
+        Home processor of every region (default 0) — kept static here;
+        home *migration* is the concern of the protocol model, not of
+        the value semantics.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        placement: tuple[int, ...] | None = None,
+        region_map: dict[str, int] | None = None,
+        home: int = 0,
+    ):
+        self.program = program
+        self.vars = program.shared_names()
+        self.var_index = {v: i for i, v in enumerate(self.vars)}
+        self.reg_index = {r: i for i, r in enumerate(program.registers)}
+        self.n_threads = program.n_threads
+        if placement is None:
+            placement = tuple(range(self.n_threads))
+        if len(placement) != self.n_threads:
+            raise ModelError("placement must name a processor per thread")
+        self.placement = placement
+        self.n_proc = max(placement) + 1
+        if region_map is None:
+            region_map = {v: 0 for v in self.vars}
+        self.region_of = tuple(region_map[v] for v in self.vars)
+        self.n_regions = max(self.region_of) + 1
+        self.home = home
+        if not 0 <= home < max(self.n_proc, 1):
+            raise ModelError(f"home processor {home} out of range")
+        # cells of each region, as var indices in order
+        self.region_cells: list[list[int]] = [[] for _ in range(self.n_regions)]
+        for vi, r in enumerate(self.region_of):
+            self.region_cells[r].append(vi)
+
+    # -- state layout -----------------------------------------------------------
+    #
+    # (pcs, regs, homedata, caches, twins, dirty, lock)
+    #   homedata[r]        = tuple of cell values (authoritative copy)
+    #   caches[p][r]       = None (invalid) or tuple of cell values
+    #   twins[p][r]        = None or pristine snapshot for diffing
+    #   dirty[p]           = region bitmask (the processor's flush list)
+    #   lock               = holder thread + 1 (0 free)
+
+    def initial_state(self):
+        init = dict(self.program.shared)
+        homedata = tuple(
+            tuple(init[self.vars[vi]] for vi in self.region_cells[r])
+            for r in range(self.n_regions)
+        )
+        none_row = (None,) * self.n_regions
+        return (
+            (0,) * self.n_threads,
+            (None,) * len(self.program.registers),
+            homedata,
+            (none_row,) * self.n_proc,
+            (none_row,) * self.n_proc,
+            (0,) * self.n_proc,
+            0,
+        )
+
+    def is_final(self, state) -> bool:
+        pcs = state[0]
+        return all(
+            pcs[t] >= len(self.program.threads[t]) for t in range(self.n_threads)
+        )
+
+    def outcome(self, state) -> tuple:
+        return state[1]
+
+    # -- cell addressing ------------------------------------------------------
+
+    def _cell(self, var_idx: int) -> tuple[int, int]:
+        r = self.region_of[var_idx]
+        return r, self.region_cells[r].index(var_idx)
+
+    # -- successors ---------------------------------------------------------------
+
+    def successors(self, state) -> Iterable[tuple[str, Hashable]]:
+        out: list[tuple[str, tuple]] = []
+        pcs = state[0]
+        for t in range(self.n_threads):
+            prog = self.program.threads[t]
+            if pcs[t] < len(prog):
+                self._step(state, t, prog.stmts[pcs[t]], out)
+        return out
+
+    def _step(self, state, t: int, stmt, out) -> None:
+        pcs, regs, homedata, caches, twins, dirty, lockh = state
+        p = self.placement[t]
+        npcs = pcs[:t] + (pcs[t] + 1,) + pcs[t + 1 :]
+
+        if stmt.kind in ("use", "assign"):
+            vi = self.var_index[stmt.var]
+            r, c = self._cell(vi)
+            at_home = p == self.home
+            if not at_home and caches[p][r] is None:
+                # access check failed: fetch an up-to-date copy from home
+                ncaches = self._put(caches, p, r, homedata[r])
+                ns = (pcs, regs, homedata, ncaches, twins, dirty, lockh)
+                out.append((f"fetch(t{t},r{r})", ns))
+                return  # the access retries after the fetch
+
+            if stmt.kind == "use":
+                data = homedata[r] if at_home else caches[p][r]
+                val = data[c]
+                ri = self.reg_index[stmt.reg]
+                nregs = regs[:ri] + (val,) + regs[ri + 1 :]
+                ns = (npcs, nregs, homedata, caches, twins, dirty, lockh)
+                out.append((f"use(t{t},{stmt.var},{val})", ns))
+                return
+
+            # assign
+            if stmt.fn is not None:
+                env = {rg: regs[i] for rg, i in self.reg_index.items()}
+                val = stmt.fn(*(env[s] for s in stmt.srcs))
+            else:
+                val = stmt.value
+            if at_home:
+                row = homedata[r]
+                nhome = (
+                    homedata[:r]
+                    + (row[:c] + (val,) + row[c + 1 :],)
+                    + homedata[r + 1 :]
+                )
+                ns = (npcs, regs, nhome, caches, twins, dirty, lockh)
+                out.append((f"assign(t{t},{stmt.var},{val})", ns))
+                return
+            ntwins = twins
+            if twins[p][r] is None:
+                # first write since fetch: twin the pristine copy
+                ntwins = self._put(twins, p, r, caches[p][r])
+            row = caches[p][r]
+            ncaches = self._put(caches, p, r, row[:c] + (val,) + row[c + 1 :])
+            ndirty = dirty[:p] + (dirty[p] | (1 << r),) + dirty[p + 1 :]
+            ns = (npcs, regs, homedata, ncaches, ntwins, ndirty, lockh)
+            out.append((f"assign(t{t},{stmt.var},{val})", ns))
+            return
+
+        if stmt.kind in ("lock", "unlock"):
+            p_dirty = dirty[self.placement[t]]
+            if p_dirty or any(x is not None for x in caches[self.placement[t]]):
+                # synchronisation point: flush the processor's flush
+                # list first (diff dirty regions, invalidate all copies)
+                ns = self._flush(state, t)
+                out.append((f"flush(t{t})", ns))
+                return
+            if stmt.kind == "lock":
+                if lockh != 0:
+                    return
+                ns = (npcs, regs, homedata, caches, twins, dirty, t + 1)
+                out.append((f"lock(t{t})", ns))
+            else:
+                if lockh != t + 1:
+                    return
+                ns = (npcs, regs, homedata, caches, twins, dirty, 0)
+                out.append((f"unlock(t{t})", ns))
+            return
+
+        if stmt.kind == "compute":
+            env = {rg: regs[i] for rg, i in self.reg_index.items()}
+            args = [env[s] for s in stmt.srcs]
+            val = stmt.fn(*args)
+            ri = self.reg_index[stmt.reg]
+            nregs = regs[:ri] + (val,) + regs[ri + 1 :]
+            ns = (npcs, nregs, homedata, caches, twins, dirty, lockh)
+            out.append((f"compute(t{t},{stmt.reg},{val})", ns))
+            return
+
+        raise ModelError(f"unknown statement kind {stmt.kind!r}")
+
+    def _flush(self, state, t: int):
+        """Apply diffs of all dirty regions to home; invalidate copies."""
+        pcs, regs, homedata, caches, twins, dirty, lockh = state
+        p = self.placement[t]
+        nhome = list(homedata)
+        for r in range(self.n_regions):
+            if dirty[p] >> r & 1:
+                twin = twins[p][r]
+                working = caches[p][r]
+                if twin is None or working is None:  # pragma: no cover
+                    raise ModelError("dirty region without twin/copy")
+                # diff: only cells this processor changed are written home
+                merged = tuple(
+                    w if w != tw else h
+                    for w, tw, h in zip(working, twin, nhome[r])
+                )
+                nhome[r] = merged
+        none_row = (None,) * self.n_regions
+        ncaches = caches[:p] + (none_row,) + caches[p + 1 :]
+        ntwins = twins[:p] + (none_row,) + twins[p + 1 :]
+        ndirty = dirty[:p] + (0,) + dirty[p + 1 :]
+        return (pcs, regs, tuple(nhome), ncaches, ntwins, ndirty, lockh)
+
+    @staticmethod
+    def _put(rows, p: int, r: int, val):
+        row = rows[p]
+        nrow = row[:r] + (val,) + row[r + 1 :]
+        return rows[:p] + (nrow,) + rows[p + 1 :]
+
+
+def dsm_outcomes(
+    program: Program,
+    *,
+    placement: tuple[int, ...] | None = None,
+    region_map: dict[str, int] | None = None,
+    home: int = 0,
+    max_states: int | None = 1_000_000,
+) -> set[tuple]:
+    """All register outcomes the simulated Jackal runtime can produce."""
+    machine = DSMMachine(program, placement, region_map, home)
+    outcomes: set[tuple] = set()
+    seen = {machine.initial_state()}
+    stack = [machine.initial_state()]
+    while stack:
+        s = stack.pop()
+        if machine.is_final(s):
+            outcomes.add(machine.outcome(s))
+        for _label, nxt in machine.successors(s):
+            if nxt not in seen:
+                seen.add(nxt)
+                if max_states is not None and len(seen) > max_states:
+                    raise ModelError(
+                        f"DSM outcome enumeration exceeded {max_states} states"
+                    )
+                stack.append(nxt)
+    return outcomes

@@ -1,0 +1,268 @@
+"""Litmus tests and the DSM-implements-JMM conformance check.
+
+Each :class:`LitmusTest` carries a program, the placement used for the
+DSM runtime, and (for the classical tests) the outcome facts worth
+asserting. :func:`run_conformance` performs the check the paper lists
+as future work: every outcome the simulated Jackal runtime can produce
+must be allowed by the abstract JMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jmm.dsm import dsm_outcomes
+from repro.jmm.machine import allowed_outcomes
+from repro.jmm.program import Program, assign, lock, make_program, unlock, use
+
+
+@dataclass
+class LitmusTest:
+    """A named litmus program with its analysis parameters."""
+
+    name: str
+    program: Program
+    placement: tuple[int, ...]
+    #: region id per shared variable for the DSM run (None = one region)
+    region_map: dict[str, int] | None = None
+    #: outcomes that MUST be JMM-allowed (sanity anchors)
+    must_allow: set[tuple] = field(default_factory=set)
+    #: outcomes that MUST NOT be JMM-allowed
+    must_forbid: set[tuple] = field(default_factory=set)
+    description: str = ""
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of one conformance run."""
+
+    test: str
+    jmm_outcomes: set[tuple]
+    dsm_outcomes: set[tuple]
+
+    @property
+    def conforms(self) -> bool:
+        """DSM outcomes are a subset of JMM-allowed outcomes."""
+        return self.dsm_outcomes <= self.jmm_outcomes
+
+    @property
+    def extra(self) -> set[tuple]:
+        """DSM outcomes the JMM forbids (empty iff conformant)."""
+        return self.dsm_outcomes - self.jmm_outcomes
+
+    def summary(self) -> str:
+        verdict = "conforms" if self.conforms else f"VIOLATES (extra: {self.extra})"
+        return (
+            f"{self.test}: JMM allows {len(self.jmm_outcomes)}, "
+            f"DSM produces {len(self.dsm_outcomes)} -> {verdict}"
+        )
+
+
+def store_buffering() -> LitmusTest:
+    """SB: ``x:=1; r1:=y || y:=1; r2:=x``. Without synchronisation the
+    JMM (like the DSM) allows the relaxed outcome r1=r2=0."""
+    prog = make_program(
+        threads=[
+            [assign("x", 1), use("y", "r1")],
+            [assign("y", 1), use("x", "r2")],
+        ],
+        shared={"x": 0, "y": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="store_buffering",
+        program=prog,
+        placement=(0, 1),
+        must_allow={(0, 0), (1, 1), (1, 0), (0, 1)},
+        description="classic SB; (0,0) is the relaxed outcome",
+    )
+
+
+def message_passing() -> LitmusTest:
+    """MP without synchronisation: ``x:=1; y:=1 || r1:=y; r2:=x``.
+    The original JMM permits r1=1, r2=0 (no ordering between the two
+    variables' write-backs)."""
+    prog = make_program(
+        threads=[
+            [assign("x", 1), assign("y", 1)],
+            [use("y", "r1"), use("x", "r2")],
+        ],
+        shared={"x": 0, "y": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="message_passing",
+        program=prog,
+        placement=(0, 1),
+        must_allow={(0, 0), (1, 1), (1, 0), (0, 1)},
+        description="unsynchronised MP; the stale (1,0) outcome is legal",
+    )
+
+
+def message_passing_sync() -> LitmusTest:
+    """MP with lock/unlock around both halves: the stale outcome
+    r1=1, r2=0 becomes impossible — synchronisation points flush and
+    self-invalidate, exactly the Jackal memory model."""
+    prog = make_program(
+        threads=[
+            [lock(), assign("x", 1), assign("y", 1), unlock()],
+            [lock(), use("y", "r1"), use("x", "r2"), unlock()],
+        ],
+        shared={"x": 0, "y": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="message_passing_sync",
+        program=prog,
+        placement=(0, 1),
+        must_allow={(0, 0), (1, 1)},
+        must_forbid={(1, 0)},
+        description="locked MP; (1,0) must be forbidden by the JMM",
+    )
+
+
+def coherence_single_var() -> LitmusTest:
+    """Two writers to one variable, two readers each reading twice."""
+    prog = make_program(
+        threads=[
+            [assign("x", 1)],
+            [assign("x", 2)],
+            [use("x", "r1"), use("x", "r2")],
+        ],
+        shared={"x": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="coherence_single_var",
+        program=prog,
+        placement=(0, 1, 0),
+        must_allow={(0, 0), (1, 1), (2, 2), (1, 2), (2, 1)},
+        description="write-write race observed by a reader",
+    )
+
+
+def dekker_sync() -> LitmusTest:
+    """SB with full lock protection: only interleaving-consistent
+    outcomes remain; in particular (0,0) is forbidden."""
+    prog = make_program(
+        threads=[
+            [lock(), assign("x", 1), use("y", "r1"), unlock()],
+            [lock(), assign("y", 1), use("x", "r2"), unlock()],
+        ],
+        shared={"x": 0, "y": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="dekker_sync",
+        program=prog,
+        placement=(0, 1),
+        must_allow={(1, 0), (0, 1)},
+        must_forbid={(0, 0)},
+        description="locked SB; mutual exclusion forbids (0,0)",
+    )
+
+
+def false_sharing() -> LitmusTest:
+    """Two processors write different variables in the *same region*;
+    diffing must merge both writes (the multiple-writer protocol's
+    raison d'etre)."""
+    prog = make_program(
+        threads=[
+            [lock(), assign("x", 1), unlock()],
+            [lock(), assign("y", 1), unlock()],
+            [lock(), use("x", "r1"), use("y", "r2"), unlock()],
+        ],
+        shared={"x": 0, "y": 0},
+        registers=["r1", "r2"],
+    )
+    return LitmusTest(
+        name="false_sharing",
+        program=prog,
+        placement=(0, 1, 2),
+        region_map={"x": 0, "y": 0},
+        must_allow={(1, 1)},
+        description="concurrent writers to one region merge by diffs",
+    )
+
+
+def read_own_write() -> LitmusTest:
+    """A thread must see its own unflushed write."""
+    prog = make_program(
+        threads=[[assign("x", 1), use("x", "r1")]],
+        shared={"x": 0},
+    )
+    return LitmusTest(
+        name="read_own_write",
+        program=prog,
+        placement=(1,),
+        must_allow={(1,)},
+        must_forbid={(0,)},
+        description="per-thread program order on one variable",
+    )
+
+
+def two_plus_two_w() -> LitmusTest:
+    """2+2W: two threads each write both variables in opposite order."""
+    prog = make_program(
+        threads=[
+            [assign("x", 1), assign("y", 2)],
+            [assign("y", 1), assign("x", 2)],
+            [use("x", "r1"), use("y", "r2")],
+        ],
+        shared={"x": 0, "y": 0},
+    )
+    return LitmusTest(
+        name="two_plus_two_w",
+        program=prog,
+        placement=(0, 1, 2),
+        must_allow={(1, 1), (2, 2), (1, 2), (2, 1)},
+        description="write-write races on two variables",
+    )
+
+
+def corr_same_processor() -> LitmusTest:
+    """Two reads of one variable by threads sharing a processor see a
+    consistent (shared-copy) view in the DSM runtime."""
+    prog = make_program(
+        threads=[
+            [lock(), assign("x", 1), unlock()],
+            [use("x", "r1")],
+            [use("x", "r2")],
+        ],
+        shared={"x": 0},
+    )
+    return LitmusTest(
+        name="corr_same_processor",
+        program=prog,
+        placement=(0, 1, 1),
+        must_allow={(0, 0), (1, 1), (0, 1), (1, 0)},
+        description="readers share one cached copy",
+    )
+
+
+def LITMUS_TESTS() -> list[LitmusTest]:
+    """All bundled litmus tests."""
+    return [
+        store_buffering(),
+        message_passing(),
+        message_passing_sync(),
+        coherence_single_var(),
+        dekker_sync(),
+        false_sharing(),
+        read_own_write(),
+        two_plus_two_w(),
+        corr_same_processor(),
+    ]
+
+
+def run_conformance(test: LitmusTest) -> ConformanceResult:
+    """Enumerate JMM-allowed and DSM-produced outcomes for ``test``."""
+    jmm = allowed_outcomes(test.program)
+    dsm = dsm_outcomes(
+        test.program,
+        placement=test.placement,
+        region_map=test.region_map,
+    )
+    return ConformanceResult(
+        test=test.name, jmm_outcomes=jmm, dsm_outcomes=dsm
+    )

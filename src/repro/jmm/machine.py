@@ -1,0 +1,292 @@
+"""The abstract Java Memory Model as a transition system.
+
+This is the memory model of the paper's Section 3 — JLS (1st ed.)
+chapter 17 — made operational: every thread owns a *working memory*
+caching the shared *main memory*; the eight actions are individual
+transitions subject to the chapter's ordering constraints:
+
+* ``use``/``assign`` act on the working copy (a ``use`` requires the
+  copy to exist, i.e. an earlier ``assign`` or ``load``);
+* ``store`` snapshots a dirty working copy into a per-(thread,
+  variable) transit buffer; the matching ``write`` commits it to main
+  memory later (store precedes its write, FIFO per pair — enforced by
+  the capacity-one buffer);
+* ``read`` snapshots main memory into a transit buffer; the matching
+  ``load`` installs it into working memory later, and may not clobber a
+  dirty copy ("a store must intervene between an assign and a
+  subsequent load");
+* ``lock`` empties the working memory (subsequent uses must re-load)
+  and requires all dirty data to be flushed first; ``unlock`` requires
+  the same flush. Both act on one global lock object.
+
+Exploring this machine with :func:`repro.lts.explore` enumerates every
+behaviour the JMM allows for a program; the set of final register
+valuations is the program's *allowed outcome set*, the reference against
+which the DSM runtime simulator is checked.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import ModelError
+from repro.jmm.program import Program
+
+#: sentinel for an undefined working copy / empty transit slot
+_ABSENT = None
+
+
+class JMMMachine:
+    """A :class:`~repro.lts.explore.TransitionSystem` over a litmus
+    program under the original JMM.
+
+    State layout (all tuples)::
+
+        (pcs, regs, working, dirty, rtransit, stransit, main, lock)
+
+    where ``working[t][v]``, ``rtransit[t][v]``, ``stransit[t][v]`` are
+    values or ``None``, ``dirty[t]`` is a variable bitmask, ``main[v]``
+    the main-memory values and ``lock`` the holding thread + 1 (0 =
+    free).
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.vars = program.shared_names()
+        self.var_index = {v: i for i, v in enumerate(self.vars)}
+        self.reg_index = {r: i for i, r in enumerate(program.registers)}
+        self.n_threads = program.n_threads
+        self.n_vars = len(self.vars)
+        # future_uses[t][pc]: bitmask of variables thread t still uses at
+        # or after pc. Spontaneous read/load of a variable a thread will
+        # never use again cannot influence any register (loads create no
+        # dirty data), so pruning them preserves the outcome set while
+        # cutting the interleaving explosion dramatically.
+        self.future_uses: list[list[int]] = []
+        for tp in program.threads:
+            masks = [0] * (len(tp) + 1)
+            for pc in range(len(tp) - 1, -1, -1):
+                m = masks[pc + 1]
+                s = tp.stmts[pc]
+                if s.kind == "use":
+                    m |= 1 << self.var_index[s.var]
+                masks[pc] = m
+            self.future_uses.append(masks)
+
+    # -- initial state ------------------------------------------------------
+
+    def initial_state(self):
+        nt, nv = self.n_threads, self.n_vars
+        empty_row = (_ABSENT,) * nv
+        return (
+            (0,) * nt,  # pcs
+            (_ABSENT,) * len(self.program.registers),  # regs
+            (empty_row,) * nt,  # working copies
+            (0,) * nt,  # dirty masks
+            (empty_row,) * nt,  # read transit
+            (empty_row,) * nt,  # store transit
+            tuple(val for _v, val in self.program.shared),  # main memory
+            0,  # lock holder + 1
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def is_final(self, state) -> bool:
+        """All threads ran to completion."""
+        pcs = state[0]
+        return all(
+            pcs[t] >= len(self.program.threads[t]) for t in range(self.n_threads)
+        )
+
+    def outcome(self, state) -> tuple:
+        """The observed register values of a final state."""
+        return state[1]
+
+    def _regs_env(self, regs) -> dict[str, object]:
+        return {r: regs[i] for r, i in self.reg_index.items()}
+
+    # -- successors ----------------------------------------------------------------
+
+    def successors(self, state) -> Iterable[tuple[str, Hashable]]:
+        pcs, regs, working, dirty, rtr, strn, main, lockh = state
+        out: list[tuple[str, tuple]] = []
+
+        for t in range(self.n_threads):
+            prog = self.program.threads[t]
+            pc = pcs[t]
+            if pc < len(prog):
+                self._program_step(state, t, prog.stmts[pc], out)
+            # asynchronous implementation actions for thread t
+            for v in range(self.n_vars):
+                name = self.vars[v]
+                # store: dirty copy -> store transit. A pending
+                # prefetched read is discarded: its load would follow
+                # this store in thread order, so the pairing rule would
+                # demand our write precede that read — it cannot.
+                if dirty[t] >> v & 1 and strn[t][v] is _ABSENT:
+                    nrtr = rtr
+                    if rtr[t][v] is not _ABSENT:
+                        nrtr = self._put(rtr, t, v, _ABSENT)
+                    ns = (
+                        pcs,
+                        regs,
+                        working,
+                        self._clear_bit(dirty, t, v),
+                        nrtr,
+                        self._put(strn, t, v, working[t][v]),
+                        main,
+                        lockh,
+                    )
+                    out.append((f"store(t{t},{name})", ns))
+                # write: store transit -> main memory
+                if strn[t][v] is not _ABSENT:
+                    nmain = main[:v] + (strn[t][v],) + main[v + 1 :]
+                    ns = (
+                        pcs,
+                        regs,
+                        working,
+                        dirty,
+                        rtr,
+                        self._put(strn, t, v, _ABSENT),
+                        nmain,
+                        lockh,
+                    )
+                    out.append((f"write(t{t},{name})", ns))
+                # read: main memory -> read transit (only for variables
+                # this thread will still use — see future_uses). A read
+                # may not overtake the thread's own pending write: the
+                # JLS pairing rule orders write_i before read_j when
+                # store_i precedes load_j in thread order.
+                if (
+                    rtr[t][v] is _ABSENT
+                    and strn[t][v] is _ABSENT
+                    and pcs[t] < len(prog)
+                    and self.future_uses[t][pcs[t]] >> v & 1
+                ):
+                    ns = (
+                        pcs,
+                        regs,
+                        working,
+                        dirty,
+                        self._put(rtr, t, v, main[v]),
+                        strn,
+                        main,
+                        lockh,
+                    )
+                    out.append((f"read(t{t},{name})", ns))
+                # load: read transit -> working copy (not over dirty data)
+                if rtr[t][v] is not _ABSENT and not (dirty[t] >> v & 1):
+                    nworking = self._put(working, t, v, rtr[t][v])
+                    ns = (
+                        pcs,
+                        regs,
+                        nworking,
+                        dirty,
+                        self._put(rtr, t, v, _ABSENT),
+                        strn,
+                        main,
+                        lockh,
+                    )
+                    out.append((f"load(t{t},{name})", ns))
+        return out
+
+    def _program_step(self, state, t: int, stmt, out) -> None:
+        pcs, regs, working, dirty, rtr, strn, main, lockh = state
+        npcs = pcs[:t] + (pcs[t] + 1,) + pcs[t + 1 :]
+        if stmt.kind == "use":
+            v = self.var_index[stmt.var]
+            val = working[t][v]
+            if val is _ABSENT:
+                return  # must load first (rule: use after assign/load)
+            r = self.reg_index[stmt.reg]
+            nregs = regs[:r] + (val,) + regs[r + 1 :]
+            out.append((f"use(t{t},{stmt.var},{val})", (npcs, nregs) + state[2:]))
+            return
+        if stmt.kind == "assign":
+            v = self.var_index[stmt.var]
+            if stmt.fn is not None:
+                env = self._regs_env(regs)
+                args = [env[s] for s in stmt.srcs]
+                if any(a is _ABSENT for a in args):
+                    raise ModelError(
+                        f"thread {t}: assign reads unset register(s) {stmt.srcs}"
+                    )
+                val = stmt.fn(*args)
+            else:
+                val = stmt.value
+            nworking = self._put(working, t, v, val)
+            ndirty = dirty[:t] + (dirty[t] | (1 << v),) + dirty[t + 1 :]
+            # a pending prefetched read is abandoned: its load would have
+            # to follow the coming store, which the pairing rule forbids
+            # (the read happened before our write)
+            nrtr = rtr
+            if rtr[t][v] is not _ABSENT:
+                nrtr = self._put(rtr, t, v, _ABSENT)
+            ns = (npcs, regs, nworking, ndirty, nrtr, strn, main, lockh)
+            out.append((f"assign(t{t},{stmt.var},{val})", ns))
+            return
+        if stmt.kind == "compute":
+            env = self._regs_env(regs)
+            args = [env[s] for s in stmt.srcs]
+            if any(a is _ABSENT for a in args):
+                return  # operands not yet read
+            val = stmt.fn(*args)
+            r = self.reg_index[stmt.reg]
+            nregs = regs[:r] + (val,) + regs[r + 1 :]
+            out.append((f"compute(t{t},{stmt.reg},{val})", (npcs, nregs) + state[2:]))
+            return
+        if stmt.kind == "lock":
+            # all dirty data must be flushed, and the lock must be free
+            if lockh != 0 or dirty[t] != 0 or any(
+                x is not _ABSENT for x in strn[t]
+            ):
+                return
+            # working memory is emptied: subsequent uses must re-load
+            empty_row = (_ABSENT,) * self.n_vars
+            nworking = working[:t] + (empty_row,) + working[t + 1 :]
+            nrtr = rtr[:t] + (empty_row,) + rtr[t + 1 :]
+            ns = (npcs, regs, nworking, dirty, nrtr, strn, main, t + 1)
+            out.append((f"lock(t{t})", ns))
+            return
+        if stmt.kind == "unlock":
+            if lockh != t + 1 or dirty[t] != 0 or any(
+                x is not _ABSENT for x in strn[t]
+            ):
+                return
+            ns = (npcs, regs, working, dirty, rtr, strn, main, 0)
+            out.append((f"unlock(t{t})", ns))
+            return
+        raise ModelError(f"unknown statement kind {stmt.kind!r}")
+
+    @staticmethod
+    def _put(rows, t: int, v: int, val):
+        row = rows[t]
+        nrow = row[:v] + (val,) + row[v + 1 :]
+        return rows[:t] + (nrow,) + rows[t + 1 :]
+
+    @staticmethod
+    def _clear_bit(masks, t: int, v: int):
+        return masks[:t] + (masks[t] & ~(1 << v),) + masks[t + 1 :]
+
+
+def allowed_outcomes(
+    program: Program, *, max_states: int | None = 2_000_000
+) -> set[tuple]:
+    """All register outcomes the JMM permits for ``program``."""
+    machine = JMMMachine(program)
+    outcomes: set[tuple] = set()
+    seen = {machine.initial_state()}
+    stack = [machine.initial_state()]
+    while stack:
+        s = stack.pop()
+        if machine.is_final(s):
+            outcomes.add(machine.outcome(s))
+        for _label, nxt in machine.successors(s):
+            if nxt not in seen:
+                seen.add(nxt)
+                if max_states is not None and len(seen) > max_states:
+                    raise ModelError(
+                        f"JMM outcome enumeration exceeded {max_states} states"
+                    )
+                stack.append(nxt)
+    return outcomes

@@ -1,0 +1,156 @@
+"""Small multithreaded programs for memory-model analysis.
+
+A :class:`Program` is a set of straight-line thread programs over shared
+variables and thread-local registers — the standard litmus-test shape.
+Statements:
+
+* ``assign(var, value)`` / ``assign(var, fn, regs...)`` — write a shared
+  variable (a constant, or a function of registers);
+* ``use(var, reg)`` — read a shared variable into a register;
+* ``lock()`` / ``unlock()`` — the synchronisation actions (one global
+  lock object, which is all litmus tests need);
+* ``compute(reg, fn, regs...)`` — register-only computation.
+
+The same programs run on the abstract JMM machine and on the DSM
+runtime simulator, which is what makes the conformance check of
+:mod:`repro.jmm.litmus` possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """A single statement."""
+
+    kind: str  # "assign" | "use" | "lock" | "unlock" | "compute"
+    var: str | None = None
+    reg: str | None = None
+    fn: Callable | None = None
+    srcs: tuple[str, ...] = ()
+    value: object = None
+
+    def __str__(self) -> str:
+        if self.kind == "assign":
+            rhs = f"{self.fn.__name__}({','.join(self.srcs)})" if self.fn else repr(self.value)
+            return f"{self.var} := {rhs}"
+        if self.kind == "use":
+            return f"{self.reg} := {self.var}"
+        if self.kind == "compute":
+            return f"{self.reg} := {self.fn.__name__}({','.join(self.srcs)})"
+        return self.kind
+
+
+def assign(var: str, value_or_fn, *srcs: str) -> Stmt:
+    """Write ``var``; either ``assign('x', 1)`` or
+    ``assign('x', fn, 'r1', 'r2')``."""
+    if callable(value_or_fn):
+        return Stmt("assign", var=var, fn=value_or_fn, srcs=srcs)
+    if srcs:
+        raise ModelError("constant assign takes no source registers")
+    return Stmt("assign", var=var, value=value_or_fn)
+
+
+def use(var: str, reg: str) -> Stmt:
+    """Read ``var`` into register ``reg``."""
+    return Stmt("use", var=var, reg=reg)
+
+
+def lock() -> Stmt:
+    """Acquire the (single) lock object — a synchronisation point."""
+    return Stmt("lock")
+
+
+def unlock() -> Stmt:
+    """Release the lock — a synchronisation point."""
+    return Stmt("unlock")
+
+
+def compute(reg: str, fn: Callable, *srcs: str) -> Stmt:
+    """Register computation ``reg := fn(srcs...)``."""
+    return Stmt("compute", reg=reg, fn=fn, srcs=srcs)
+
+
+@dataclass(frozen=True)
+class ThreadProgram:
+    """One thread's straight-line code."""
+
+    stmts: tuple[Stmt, ...]
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete litmus program.
+
+    Attributes
+    ----------
+    threads:
+        The thread programs.
+    shared:
+        Shared variable names with initial values.
+    registers:
+        Observed registers: the *outcome* of a run is the tuple of their
+        final values, in this order, concatenated across threads.
+    """
+
+    threads: tuple[ThreadProgram, ...]
+    shared: tuple[tuple[str, int], ...]
+    registers: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        names = {v for v, _ in self.shared}
+        for ti, tp in enumerate(self.threads):
+            balance = 0
+            for s in tp.stmts:
+                if s.kind in ("assign", "use") and s.var not in names:
+                    raise ModelError(
+                        f"thread {ti}: unknown shared variable {s.var!r}"
+                    )
+                if s.kind == "lock":
+                    balance += 1
+                elif s.kind == "unlock":
+                    balance -= 1
+                    if balance < 0:
+                        raise ModelError(f"thread {ti}: unlock without lock")
+            if balance != 0:
+                raise ModelError(f"thread {ti}: unbalanced lock/unlock")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def shared_names(self) -> tuple[str, ...]:
+        return tuple(v for v, _ in self.shared)
+
+
+def make_program(
+    threads: list[list[Stmt]],
+    shared: dict[str, int],
+    registers: list[str] | None = None,
+) -> Program:
+    """Convenience constructor.
+
+    When ``registers`` is omitted, every register read anywhere is
+    observed, in thread-then-program order.
+    """
+    regs: list[str] = []
+    if registers is None:
+        for tp in threads:
+            for s in tp:
+                if s.kind in ("use", "compute") and s.reg not in regs:
+                    regs.append(s.reg)
+    else:
+        regs = list(registers)
+    return Program(
+        threads=tuple(ThreadProgram(tuple(tp)) for tp in threads),
+        shared=tuple(sorted(shared.items())),
+        registers=tuple(regs),
+    )

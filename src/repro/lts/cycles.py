@@ -1,0 +1,185 @@
+"""Cycle and livelock analysis.
+
+Requirement 4 of the paper forbids requests "bounced around the network
+forever" — operationally, a reachable *lasso*: a cycle none of whose
+labels signals progress. :func:`find_lasso_avoiding` produces such a
+lasso as a concrete witness (prefix + cycle), which is how the Error-2
+flush storm is exhibited as a trace rather than just a failed formula.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.lts.deadlock import shortest_trace_to
+from repro.lts.lts import LTS
+from repro.lts.trace import Trace
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A reachable cycle: ``prefix`` leads from the initial state to the
+    cycle's entry state; ``cycle`` returns to it."""
+
+    prefix: Trace
+    cycle: Trace
+
+    def __len__(self) -> int:
+        return len(self.prefix) + len(self.cycle)
+
+    def format(self) -> str:
+        """Readable rendering with the cycle marked."""
+        out = [self.prefix.format()] if len(self.prefix) else []
+        out.append("-- cycle --")
+        out.append(self.cycle.format())
+        return "\n".join(out)
+
+
+def _progress_subgraph(lts: LTS, is_progress: Callable[[str], bool]):
+    """Adjacency restricted to non-progress transitions."""
+    n = lts.n_states
+    adj: list[list[tuple[str, int]]] = [[] for _ in range(n)]
+    for t in lts.transitions():
+        if not is_progress(t.label):
+            adj[t.src].append((t.label, t.dst))
+    return adj
+
+
+def find_lasso_avoiding(
+    lts: LTS,
+    progress_labels: Iterable[str] | Callable[[str], bool],
+    *,
+    ignore_self_loops_of: Iterable[str] = (),
+) -> Lasso | None:
+    """Find a reachable cycle using no *progress* transition.
+
+    Parameters
+    ----------
+    lts:
+        The system under analysis.
+    progress_labels:
+        Either an iterable of labels counting as progress, or a
+        predicate over labels.
+    ignore_self_loops_of:
+        Labels whose self-loops do not count as cycles (observability
+        probes).
+
+    Returns
+    -------
+    The shortest-prefix lasso found, or ``None`` when every infinite run
+    makes progress infinitely often (no such cycle exists).
+    """
+    if callable(progress_labels):
+        is_progress = progress_labels
+    else:
+        progress_set = set(progress_labels)
+        is_progress = progress_set.__contains__
+    skip_loops = set(ignore_self_loops_of)
+
+    adj = _progress_subgraph(lts, is_progress)
+    n = lts.n_states
+
+    # states on a non-progress cycle: non-trivial SCCs of the subgraph,
+    # or states with a genuine self-loop (iterative Tarjan)
+    index = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    comp = [-1] * n
+    comp_size: list[int] = []
+    stack: list[int] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            while pi < len(adj[v]):
+                _lab, w = adj[v][pi]
+                pi += 1
+                if index[w] == -1:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                members = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = len(comp_size)
+                    members.append(w)
+                    if w == v:
+                        break
+                comp_size.append(len(members))
+            if work:
+                u, _ = work[-1]
+                low[u] = min(low[u], low[v])
+
+    def has_real_self_loop(s: int) -> bool:
+        return any(
+            d == s and lab not in skip_loops for lab, d in adj[s]
+        )
+
+    cyclic_states = {
+        s
+        for s in range(n)
+        if comp_size[comp[s]] > 1 or has_real_self_loop(s)
+    }
+    if not cyclic_states:
+        return None
+
+    prefix = shortest_trace_to(lts, cyclic_states)
+    if prefix is None:
+        return None
+    # replay the prefix to find the entry state
+    entry = lts.initial
+    for label in prefix.labels:
+        entry = next(d for lab, d in lts.successors(entry) if lab == label)
+
+    # shortest cycle from entry back to entry inside the subgraph
+    if has_real_self_loop(entry):
+        lab = next(
+            lab for lab, d in adj[entry] if d == entry and lab not in skip_loops
+        )
+        return Lasso(prefix, Trace((lab,)))
+    parent: dict[int, tuple[int, str]] = {}
+    queue = deque()
+    for lab, d in adj[entry]:
+        if comp[d] == comp[entry] and d not in parent:
+            parent[d] = (entry, lab)
+            queue.append(d)
+    while queue:
+        s = queue.popleft()
+        if s == entry:
+            break
+        for lab, d in adj[s]:
+            if comp[d] != comp[entry]:
+                continue
+            if d == entry:
+                labels = [lab]
+                cur = s
+                while cur != entry:
+                    p, l2 = parent[cur]
+                    labels.append(l2)
+                    cur = p
+                labels.reverse()
+                return Lasso(prefix, Trace(tuple(labels)))
+            if d not in parent:
+                parent[d] = (s, lab)
+                queue.append(d)
+    raise AssertionError("cyclic state without recoverable cycle")  # pragma: no cover

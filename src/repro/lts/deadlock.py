@@ -1,0 +1,136 @@
+"""Deadlock detection with shortest counterexample traces.
+
+Requirement 1 of the paper ("the protocol never ends up in a state where
+it cannot perform any action") is checked here. Two refinements over the
+naive notion are needed in practice:
+
+* *probe labels* — the observability self-loops added for the
+  mu-calculus checks (``c_home`` etc.) must not mask a deadlock, so they
+  are discounted;
+* *legitimate termination* — in the bounded-rounds protocol model, a
+  state where every thread finished all its work is proper termination,
+  not a deadlock. The caller supplies an ``is_valid_end`` predicate over
+  state metadata to make that distinction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro.lts.lts import LTS
+from repro.lts.trace import Trace
+
+
+@dataclass
+class DeadlockReport:
+    """Outcome of a deadlock search.
+
+    Attributes
+    ----------
+    deadlock_free:
+        True when no improper terminal state is reachable.
+    deadlocks:
+        Indices of improper terminal states (empty when deadlock free).
+    terminal_ok:
+        Indices of terminal states accepted by ``is_valid_end``.
+    shortest_trace:
+        Shortest action trace from the initial state to some deadlock
+        (``None`` when deadlock free).
+    """
+
+    deadlock_free: bool
+    deadlocks: list[int] = field(default_factory=list)
+    terminal_ok: list[int] = field(default_factory=list)
+    shortest_trace: Trace | None = None
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.deadlock_free:
+            return (
+                f"deadlock free ({len(self.terminal_ok)} proper terminal "
+                f"state(s))"
+            )
+        n = len(self.deadlocks)
+        tl = len(self.shortest_trace) if self.shortest_trace else "?"
+        return f"{n} deadlock state(s); shortest error trace: {tl} transitions"
+
+
+def shortest_trace_to(lts: LTS, targets: Iterable[int]) -> Trace | None:
+    """Shortest label trace from ``lts.initial`` to any state in ``targets``.
+
+    Plain BFS over the explicit LTS; returns ``None`` when no target is
+    reachable.
+    """
+    target_set = set(targets)
+    if not target_set:
+        return None
+    if lts.initial in target_set:
+        return Trace(())
+    # parent[s] = (pred_state, label) along a BFS tree
+    parent: dict[int, tuple[int, str]] = {lts.initial: (-1, "")}
+    queue = deque([lts.initial])
+    found: int | None = None
+    while queue:
+        s = queue.popleft()
+        for label, d in lts.successors(s):
+            if d not in parent:
+                parent[d] = (s, label)
+                if d in target_set:
+                    found = d
+                    queue.clear()
+                    break
+                queue.append(d)
+    if found is None:
+        return None
+    labels: list[str] = []
+    cur = found
+    while cur != lts.initial:
+        pred, label = parent[cur]
+        labels.append(label)
+        cur = pred
+    labels.reverse()
+    return Trace(tuple(labels))
+
+
+def find_deadlocks(
+    lts: LTS,
+    *,
+    ignore_labels: Iterable[str] = (),
+    is_valid_end: Callable[[Hashable], bool] | None = None,
+) -> DeadlockReport:
+    """Search ``lts`` for improper terminal states.
+
+    Parameters
+    ----------
+    lts:
+        The system under analysis. When ``is_valid_end`` is given, the
+        LTS must carry state metadata (``keep_states=True`` during
+        exploration) for the terminal states so the predicate can be
+        evaluated; terminal states without metadata are conservatively
+        reported as deadlocks.
+    ignore_labels:
+        Labels that do not count as activity (probe self-loops).
+    is_valid_end:
+        Predicate over state metadata distinguishing proper termination
+        from deadlock. Default: every terminal state is a deadlock, the
+        classical definition used in the paper's cyclic model.
+    """
+    terminal = lts.deadlock_states(ignore_labels=ignore_labels)
+    deadlocks: list[int] = []
+    ok: list[int] = []
+    for s in terminal:
+        if is_valid_end is not None:
+            meta = lts.state_meta.get(s)
+            if meta is not None and is_valid_end(meta):
+                ok.append(s)
+                continue
+        deadlocks.append(s)
+    trace = shortest_trace_to(lts, deadlocks) if deadlocks else None
+    return DeadlockReport(
+        deadlock_free=not deadlocks,
+        deadlocks=deadlocks,
+        terminal_ok=ok,
+        shortest_trace=trace,
+    )

@@ -1,0 +1,282 @@
+"""Distributed (partitioned) state-space generation.
+
+The paper generated its larger LTSs with the muCRL *distributed* LTS
+generation tool on an eight-node cluster at CWI; the technique is
+hash-based state ownership: every node owns the states that hash into
+its partition, keeps a local visited set for them, and forwards newly
+discovered states to their owners.
+
+This module reproduces that architecture at laptop scale with
+``multiprocessing`` workers (one OS process per cluster node) in a
+bulk-synchronous level-by-level schedule:
+
+1. the coordinator routes the current frontier to state owners;
+2. each owner deduplicates against its local visited set and expands the
+   genuinely new states;
+3. successor states flow back and become the next frontier.
+
+Two backends are provided: ``"process"`` (real worker processes — the
+cluster stand-in) and ``"inline"`` (the same partitioned algorithm run
+sequentially in-process; deterministic, used for testing the routing
+logic and on platforms where spawning is expensive).
+
+For exact LTS construction the transitions can be collected
+(``collect=True``); for large sweeps the default is a count-only run,
+which is what the paper's Table 8 numbers require.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.errors import ExplorationLimitError
+from repro.lts.explore import TransitionSystem
+from repro.lts.lts import LTS
+
+
+@dataclass
+class DistributedStats:
+    """Result of a partitioned sweep.
+
+    Attributes
+    ----------
+    states / transitions:
+        Exact totals (hash partitioning does not lose states, unlike
+        bitstate hashing — each owner keeps an exact visited set).
+    deadlocks:
+        Terminal states encountered.
+    per_worker_states:
+        Visited-set size per worker; the balance of this vector is the
+        classical health metric of hash partitioning.
+    levels:
+        Number of BFS levels processed.
+    seconds:
+        Wall-clock duration.
+    """
+
+    states: int = 0
+    transitions: int = 0
+    deadlocks: int = 0
+    per_worker_states: list[int] = field(default_factory=list)
+    levels: int = 0
+    seconds: float = 0.0
+
+    def imbalance(self) -> float:
+        """max/mean ratio of the partition sizes (1.0 = perfectly even)."""
+        if not self.per_worker_states or self.states == 0:
+            return 1.0
+        mean = self.states / len(self.per_worker_states)
+        return max(self.per_worker_states) / mean if mean else 1.0
+
+
+def _owner(state: Hashable, n: int) -> int:
+    """The worker owning ``state`` (stable within one run)."""
+    return hash(state) % n
+
+
+def _expand_batch(system, batch, visited, collect):
+    """Owner-side work: dedup ``batch``, expand new states.
+
+    Returns (new_successor_states, n_transitions, n_deadlocks,
+    collected_transitions).
+    """
+    out_states = []
+    n_trans = 0
+    n_dead = 0
+    collected = []
+    for state in batch:
+        if state in visited:
+            continue
+        visited.add(state)
+        succs = list(system.successors(state))
+        n_trans += len(succs)
+        if not succs:
+            n_dead += 1
+        for label, nxt in succs:
+            out_states.append(nxt)
+            if collect:
+                collected.append((state, label, nxt))
+    return out_states, n_trans, n_dead, collected
+
+
+def _worker_main(system, n_workers, inbox, outbox, collect):
+    """Worker process loop: expand batches until told to stop."""
+    visited: set = set()
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            outbox.put(("bye", len(visited)))
+            return
+        batch = msg
+        new_states, n_trans, n_dead, collected = _expand_batch(
+            system, batch, visited, collect
+        )
+        outbox.put(("level", new_states, n_trans, n_dead, collected))
+
+
+def _inline_sweep(system, n_workers, collect, max_states, stats):
+    """The partitioned algorithm run sequentially (test backend)."""
+    visited: list[set] = [set() for _ in range(n_workers)]
+    init = system.initial_state()
+    frontier = [init]
+    transitions = []
+    n_trans = 0
+    n_dead = 0
+    levels = 0
+    while frontier:
+        batches: list[list] = [[] for _ in range(n_workers)]
+        for s in frontier:
+            batches[_owner(s, n_workers)].append(s)
+        frontier = []
+        for w in range(n_workers):
+            new_states, t, d, coll = _expand_batch(
+                system, batches[w], visited[w], collect
+            )
+            n_trans += t
+            n_dead += d
+            transitions.extend(coll)
+            frontier.extend(new_states)
+        levels += 1
+        total = sum(len(v) for v in visited)
+        if max_states is not None and total > max_states:
+            raise ExplorationLimitError(f"state limit {max_states} exceeded")
+    stats.states = sum(len(v) for v in visited)
+    stats.transitions = n_trans
+    stats.deadlocks = n_dead
+    stats.per_worker_states = [len(v) for v in visited]
+    stats.levels = levels
+    return transitions, init
+
+
+def _process_sweep(system, n_workers, collect, max_states, stats):
+    """The partitioned algorithm with real worker processes."""
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    inboxes = [ctx.SimpleQueue() for _ in range(n_workers)]
+    outbox = ctx.SimpleQueue()
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(system, n_workers, inboxes[w], outbox, collect),
+            daemon=True,
+        )
+        for w in range(n_workers)
+    ]
+    for p in workers:
+        p.start()
+
+    init = system.initial_state()
+    frontier = [init]
+    transitions = []
+    n_trans = 0
+    n_dead = 0
+    levels = 0
+    total_states_upper = 0
+    try:
+        while frontier:
+            batches: list[list] = [[] for _ in range(n_workers)]
+            for s in frontier:
+                batches[_owner(s, n_workers)].append(s)
+            for w in range(n_workers):
+                inboxes[w].put(batches[w])
+            frontier = []
+            for _ in range(n_workers):
+                msg = outbox.get()
+                _tag, new_states, t, d, coll = msg
+                n_trans += t
+                n_dead += d
+                transitions.extend(coll)
+                frontier.extend(new_states)
+            levels += 1
+            total_states_upper += sum(len(b) for b in batches)
+            if max_states is not None and total_states_upper > 4 * max_states:
+                raise ExplorationLimitError(f"state limit {max_states} exceeded")
+    finally:
+        for w in range(n_workers):
+            inboxes[w].put(None)
+        sizes = [0] * n_workers
+        got = 0
+        for _ in range(n_workers):
+            msg = outbox.get()
+            if msg[0] == "bye":
+                sizes[got] = msg[1]
+                got += 1
+        for p in workers:
+            p.join(timeout=10)
+    stats.states = sum(sizes)
+    stats.transitions = n_trans
+    stats.deadlocks = n_dead
+    stats.per_worker_states = sizes
+    stats.levels = levels
+    if max_states is not None and stats.states > max_states:
+        raise ExplorationLimitError(f"state limit {max_states} exceeded")
+    return transitions, init
+
+
+def distributed_explore(
+    system: TransitionSystem,
+    *,
+    n_workers: int = 4,
+    backend: str = "process",
+    collect: bool = False,
+    max_states: int | None = None,
+) -> tuple[LTS | None, DistributedStats]:
+    """Partitioned breadth-first sweep of ``system``.
+
+    Parameters
+    ----------
+    system:
+        Must be picklable for the ``"process"`` backend (all models in
+        this package are).
+    n_workers:
+        Number of partitions (cluster nodes in the paper's setting).
+    backend:
+        ``"process"`` for real worker processes, ``"inline"`` for the
+        deterministic sequential rendition of the same algorithm.
+    collect:
+        When true, transitions are shipped back and an explicit
+        :class:`LTS` is assembled (only sensible for small systems); the
+        returned LTS is otherwise ``None``.
+    max_states:
+        Abort when the visited total exceeds this bound.
+
+    Returns
+    -------
+    (lts, stats):
+        ``lts`` is ``None`` unless ``collect`` was requested.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if backend not in ("process", "inline"):
+        raise ValueError(f"unknown backend {backend!r}")
+    stats = DistributedStats()
+    t0 = time.perf_counter()
+    sweep = _inline_sweep if backend == "inline" else _process_sweep
+    transitions, init = sweep(system, n_workers, collect, max_states, stats)
+    stats.seconds = time.perf_counter() - t0
+
+    if not collect:
+        return None, stats
+    # assemble an explicit LTS; BFS renumbering for a canonical result
+    index: dict[Hashable, int] = {init: 0}
+    adj: dict[Hashable, list[tuple[str, Hashable]]] = {}
+    for s, label, d in transitions:
+        adj.setdefault(s, []).append((label, d))
+    lts = LTS(initial=0)
+    lts.ensure_states(1)
+    frontier = [init]
+    while frontier:
+        nxt = []
+        for s in frontier:
+            for label, d in adj.get(s, []):
+                di = index.get(d)
+                if di is None:
+                    di = len(index)
+                    index[d] = di
+                    lts.ensure_states(di + 1)
+                    nxt.append(d)
+                lts.add_transition(index[s], label, di)
+        frontier = nxt
+    return lts, stats

@@ -1,0 +1,73 @@
+"""Graphviz DOT export for LTS visualisation.
+
+Small state spaces (reduced protocol LTSs, algebra examples, witness
+neighbourhoods) are best understood as pictures; this writes standard
+``.dot`` text renderable with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.lts.lts import LTS, TAU
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def write_dot(
+    lts: LTS,
+    target: str | Path | TextIO | None = None,
+    *,
+    name: str = "lts",
+    state_label: Callable[[int], str] | None = None,
+    highlight: set[int] | frozenset[int] = frozenset(),
+    max_states: int = 2000,
+) -> str:
+    """Serialise ``lts`` as a DOT digraph; returns the text.
+
+    Parameters
+    ----------
+    target:
+        Optional path or open file to write to.
+    state_label:
+        Custom node labels (default: the state index).
+    highlight:
+        States drawn filled red (deadlocks, violations).
+    max_states:
+        Guard against accidentally rendering huge graphs.
+    """
+    if lts.n_states > max_states:
+        raise ValueError(
+            f"{lts.n_states} states exceed the rendering guard "
+            f"({max_states}); reduce the LTS first"
+        )
+    buf = io.StringIO()
+    buf.write(f"digraph {name} {{\n")
+    buf.write("  rankdir=LR;\n")
+    buf.write('  node [shape=circle, fontsize=10];\n')
+    buf.write(f'  init [shape=point, label=""];\n')
+    buf.write(f"  init -> s{lts.initial};\n")
+    for s in range(lts.n_states):
+        label = state_label(s) if state_label else str(s)
+        attrs = [f"label={_quote(label)}"]
+        if s in highlight:
+            attrs.append('style=filled, fillcolor="#e74c3c", fontcolor=white')
+        if lts.out_degree(s) == 0:
+            attrs.append("shape=doublecircle")
+        buf.write(f"  s{s} [{', '.join(attrs)}];\n")
+    for t in lts.transitions():
+        style = ', style=dashed, color=gray40' if t.label == TAU else ""
+        buf.write(
+            f"  s{t.src} -> s{t.dst} [label={_quote(t.label)}{style}];\n"
+        )
+    buf.write("}\n")
+    text = buf.getvalue()
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text)
+    elif target is not None:
+        target.write(text)
+    return text

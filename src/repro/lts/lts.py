@@ -1,0 +1,254 @@
+"""In-memory labelled transition system.
+
+States are dense integers ``0..n_states-1``; labels are interned strings.
+The representation favours the access patterns of the analyses in this
+package: forward iteration during generation and model checking, and
+on-demand reverse adjacency for fixpoint computations.
+
+The label ``"tau"`` (also written ``i`` in CADP) denotes the hidden
+action; :data:`TAU` is the canonical spelling used throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+TAU = "tau"
+
+
+class Transition(NamedTuple):
+    """A single labelled transition ``src --label--> dst``."""
+
+    src: int
+    label: str
+    dst: int
+
+
+class LTS:
+    """A finite labelled transition system.
+
+    Parameters
+    ----------
+    initial:
+        Index of the initial state (conventionally 0).
+
+    Notes
+    -----
+    Transitions are stored in three parallel lists (``src``, ``label
+    index``, ``dst``); labels are interned in :attr:`labels`. This keeps
+    per-transition overhead low for the multi-million-transition systems
+    produced when exploring the protocol configurations of the paper.
+    """
+
+    __slots__ = (
+        "initial",
+        "_n_states",
+        "_src",
+        "_lbl",
+        "_dst",
+        "labels",
+        "_label_index",
+        "_fwd",
+        "_bwd",
+        "state_meta",
+    )
+
+    def __init__(self, initial: int = 0):
+        self.initial = initial
+        self._n_states = 0
+        self._src: list[int] = []
+        self._lbl: list[int] = []
+        self._dst: list[int] = []
+        self.labels: list[str] = []
+        self._label_index: dict[str, int] = {}
+        self._fwd: list[list[int]] | None = None
+        self._bwd: list[list[int]] | None = None
+        #: optional per-state annotations (e.g. the decoded model state)
+        self.state_meta: dict[int, object] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_state(self) -> int:
+        """Allocate a fresh state and return its index."""
+        idx = self._n_states
+        self._n_states += 1
+        self._fwd = None
+        self._bwd = None
+        return idx
+
+    def ensure_states(self, n: int) -> None:
+        """Grow the state set so it contains at least ``n`` states."""
+        if n > self._n_states:
+            self._n_states = n
+            self._fwd = None
+            self._bwd = None
+
+    def label_id(self, label: str) -> int:
+        """Intern ``label`` and return its dense integer id."""
+        idx = self._label_index.get(label)
+        if idx is None:
+            idx = len(self.labels)
+            self.labels.append(label)
+            self._label_index[label] = idx
+        return idx
+
+    def add_transition(self, src: int, label: str, dst: int) -> None:
+        """Append transition ``src --label--> dst`` (states auto-grown)."""
+        self.ensure_states(max(src, dst) + 1)
+        self._src.append(src)
+        self._lbl.append(self.label_id(label))
+        self._dst.append(dst)
+        self._fwd = None
+        self._bwd = None
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._n_states
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of transitions."""
+        return len(self._src)
+
+    def has_label(self, label: str) -> bool:
+        """Whether any transition carries ``label``."""
+        return label in self._label_index
+
+    def transitions(self) -> Iterator[Transition]:
+        """Iterate over all transitions in insertion order."""
+        labels = self.labels
+        for s, l, d in zip(self._src, self._lbl, self._dst):
+            yield Transition(s, labels[l], d)
+
+    def transition_arrays(self) -> tuple[list[int], list[int], list[int]]:
+        """Raw parallel arrays ``(src, label_id, dst)`` (do not mutate)."""
+        return self._src, self._lbl, self._dst
+
+    def _forward_index(self) -> list[list[int]]:
+        if self._fwd is None:
+            fwd: list[list[int]] = [[] for _ in range(self._n_states)]
+            for ti, s in enumerate(self._src):
+                fwd[s].append(ti)
+            self._fwd = fwd
+        return self._fwd
+
+    def _backward_index(self) -> list[list[int]]:
+        if self._bwd is None:
+            bwd: list[list[int]] = [[] for _ in range(self._n_states)]
+            for ti, d in enumerate(self._dst):
+                bwd[d].append(ti)
+            self._bwd = bwd
+        return self._bwd
+
+    def successors(self, state: int) -> list[tuple[str, int]]:
+        """Outgoing ``(label, dst)`` pairs of ``state``."""
+        fwd = self._forward_index()
+        labels = self.labels
+        return [(labels[self._lbl[t]], self._dst[t]) for t in fwd[state]]
+
+    def predecessors(self, state: int) -> list[tuple[str, int]]:
+        """Incoming ``(label, src)`` pairs of ``state``."""
+        bwd = self._backward_index()
+        labels = self.labels
+        return [(labels[self._lbl[t]], self._src[t]) for t in bwd[state]]
+
+    def out_degree(self, state: int) -> int:
+        """Number of outgoing transitions of ``state``."""
+        return len(self._forward_index()[state])
+
+    def enabled_labels(self, state: int) -> set[str]:
+        """Set of labels enabled in ``state``."""
+        fwd = self._forward_index()
+        labels = self.labels
+        return {labels[self._lbl[t]] for t in fwd[state]}
+
+    def deadlock_states(self, ignore_labels: Iterable[str] = ()) -> list[int]:
+        """States with no outgoing transition.
+
+        ``ignore_labels`` are treated as absent; this is used to discount
+        observability probe self-loops (``c_home`` etc.) which exist only
+        for the benefit of the model checker.
+        """
+        ignore = {self._label_index[l] for l in ignore_labels if l in self._label_index}
+        fwd = self._forward_index()
+        dead = []
+        for s in range(self._n_states):
+            if all(self._lbl[t] in ignore for t in fwd[s]):
+                dead.append(s)
+        return dead
+
+    def label_counts(self) -> dict[str, int]:
+        """Map each label to its number of transitions."""
+        counts = [0] * len(self.labels)
+        for l in self._lbl:
+            counts[l] += 1
+        return {lab: c for lab, c in zip(self.labels, counts)}
+
+    # -- transformations -----------------------------------------------
+
+    def relabelled(self, mapping: dict[str, str]) -> "LTS":
+        """A copy with labels renamed through ``mapping`` (others kept)."""
+        out = LTS(self.initial)
+        out.ensure_states(self._n_states)
+        labels = self.labels
+        for s, l, d in zip(self._src, self._lbl, self._dst):
+            lab = labels[l]
+            out.add_transition(s, mapping.get(lab, lab), d)
+        return out
+
+    def hidden(self, hide: Iterable[str]) -> "LTS":
+        """A copy where every label in ``hide`` becomes :data:`TAU`."""
+        return self.relabelled({l: TAU for l in hide})
+
+    def restricted_to_reachable(self) -> "LTS":
+        """A copy containing only states reachable from the initial state."""
+        fwd = self._forward_index()
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            s = stack.pop()
+            for t in fwd[s]:
+                d = self._dst[t]
+                if d not in seen:
+                    seen.add(d)
+                    stack.append(d)
+        remap = {old: new for new, old in enumerate(sorted(seen))}
+        out = LTS(remap[self.initial])
+        out.ensure_states(len(remap))
+        labels = self.labels
+        for s, l, d in zip(self._src, self._lbl, self._dst):
+            if s in remap and d in remap:
+                out.add_transition(remap[s], labels[l], remap[d])
+        for old, meta in self.state_meta.items():
+            if old in remap:
+                out.state_meta[remap[old]] = meta
+        return out
+
+    # -- dunder ---------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LTS(states={self._n_states}, transitions={self.n_transitions}, "
+            f"labels={len(self.labels)}, initial={self.initial})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (same states, same transition multiset)."""
+        if not isinstance(other, LTS):
+            return NotImplemented
+        if self._n_states != other._n_states or self.initial != other.initial:
+            return False
+        mine = sorted(
+            (s, self.labels[l], d) for s, l, d in zip(self._src, self._lbl, self._dst)
+        )
+        theirs = sorted(
+            (s, other.labels[l], d)
+            for s, l, d in zip(other._src, other._lbl, other._dst)
+        )
+        return mine == theirs
+
+    def __hash__(self):  # noqa: D105 - mutable container, identity hash
+        return id(self)

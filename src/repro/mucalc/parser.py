@@ -1,0 +1,318 @@
+"""Concrete syntax for mu-calculus formulas, following the paper.
+
+Examples from the paper, accepted verbatim (modulo ASCII spelling of the
+logical connectives)::
+
+    [T*.c_home] F
+    <T*> (<c_copy>T /\\ <lock_empty>T /\\ <homequeue_empty>T
+          /\\ <remotequeue_empty>T)
+    [T*.write(t0)] mu X. (<T>T /\\ [not write_over(t0)] X)
+
+Grammar (EBNF)::
+
+    formula  = orform ;
+    orform   = andform { "\\/" andform } ;
+    andform  = prefix { "/\\" prefix } ;
+    prefix   = ("mu"|"nu") IDENT "." prefix
+             | "[" regular "]" prefix
+             | "<" regular ">" prefix
+             | "~" prefix
+             | atom ;
+    atom     = "T" | "F" | IDENT | "(" formula ")" ;
+
+    regular  = alt ;
+    alt      = seq { "|" seq } ;
+    seq      = star { "." star } ;
+    star     = base { "*" } ;
+    base     = actpred | "(" regular ")" ;
+    actpred  = "T" | ("not"|"~") base | label ;
+    label    = STRING | IDENT [ "(" [ args ] ")" ] ;
+
+Labels may be quoted (``"c_home"``) or bare (``c_home``); a bare label
+may carry an argument list which is folded into the label text
+(``write(t0)`` matches the transition label ``write(t0)``). An argument
+of ``*`` requests prefix matching: ``write(*)`` matches ``write(t0)``,
+``write(t1)``, ... Inside a regular formula, ``T`` is the paper's
+any-action wildcard; in a state formula position, ``T`` is truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import FormulaSyntaxError
+from repro.mucalc.syntax import (
+    ActLit,
+    And,
+    AnyAct,
+    Box,
+    Diamond,
+    Ff,
+    Formula,
+    Mu,
+    Not,
+    NotAct,
+    Nu,
+    Or,
+    RAct,
+    RAlt,
+    Regular,
+    RSeq,
+    RStar,
+    Tt,
+    Var,
+)
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<and>/\\)
+  | (?P<or>\\/)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>\d+)
+  | (?P<sym>[\[\]<>().*|~,])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"mu", "nu", "not", "T", "F"}
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str  # "and", "or", "string", "ident", "sym", "eof"
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    toks: list[_Tok] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise FormulaSyntaxError(
+                f"unexpected character {text[pos]!r}", position=pos
+            )
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            toks.append(_Tok(kind, m.group(), pos))
+        pos = m.end()
+    toks.append(_Tok("eof", "", len(text)))
+    return toks
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.toks = _tokenize(text)
+        self.i = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def cur(self) -> _Tok:
+        return self.toks[self.i]
+
+    def advance(self) -> _Tok:
+        t = self.cur
+        self.i += 1
+        return t
+
+    def expect(self, kind: str, text: str | None = None) -> _Tok:
+        t = self.cur
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text if text is not None else kind
+            raise FormulaSyntaxError(
+                f"expected {want!r}, found {t.text or 'end of input'!r}",
+                position=t.pos,
+            )
+        return self.advance()
+
+    def at_sym(self, s: str) -> bool:
+        return self.cur.kind == "sym" and self.cur.text == s
+
+    def eat_sym(self, s: str) -> bool:
+        if self.at_sym(s):
+            self.advance()
+            return True
+        return False
+
+    # -- state formulas ---------------------------------------------------
+
+    def formula(self) -> Formula:
+        left = self.andform()
+        while self.cur.kind == "or":
+            self.advance()
+            left = Or(left, self.andform())
+        return left
+
+    def andform(self) -> Formula:
+        left = self.prefix()
+        while self.cur.kind == "and":
+            self.advance()
+            left = And(left, self.prefix())
+        return left
+
+    def prefix(self) -> Formula:
+        t = self.cur
+        if t.kind == "ident" and t.text in ("mu", "nu"):
+            self.advance()
+            var = self.expect("ident").text
+            if var in _KEYWORDS:
+                raise FormulaSyntaxError(
+                    f"{var!r} cannot be a fixpoint variable", position=t.pos
+                )
+            self.expect("sym", ".")
+            body = self.prefix()
+            return Mu(var, body) if t.text == "mu" else Nu(var, body)
+        if self.eat_sym("["):
+            reg = self.regular()
+            self.expect("sym", "]")
+            return Box(reg, self.prefix())
+        if self.eat_sym("<"):
+            reg = self.regular()
+            self.expect("sym", ">")
+            return Diamond(reg, self.prefix())
+        if self.eat_sym("~"):
+            return Not(self.prefix())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        t = self.cur
+        if self.eat_sym("("):
+            f = self.formula()
+            self.expect("sym", ")")
+            return f
+        if t.kind == "ident":
+            self.advance()
+            if t.text == "T":
+                return Tt()
+            if t.text == "F":
+                return Ff()
+            if t.text in ("mu", "nu", "not"):
+                raise FormulaSyntaxError(
+                    f"keyword {t.text!r} not a formula", position=t.pos
+                )
+            return Var(t.text)
+        raise FormulaSyntaxError(
+            f"expected a formula, found {t.text or 'end of input'!r}",
+            position=t.pos,
+        )
+
+    # -- regular formulas --------------------------------------------------
+
+    def regular(self) -> Regular:
+        left = self.reg_seq()
+        while self.eat_sym("|"):
+            left = RAlt(left, self.reg_seq())
+        return left
+
+    def reg_seq(self) -> Regular:
+        left = self.reg_star()
+        while self.eat_sym("."):
+            left = RSeq(left, self.reg_star())
+        return left
+
+    def reg_star(self) -> Regular:
+        base = self.reg_base()
+        while self.eat_sym("*"):
+            base = RStar(base)
+        return base
+
+    def reg_base(self) -> Regular:
+        t = self.cur
+        if self.eat_sym("("):
+            r = self.regular()
+            self.expect("sym", ")")
+            return r
+        if self.eat_sym("~"):
+            return self._negated(self.reg_base(), t.pos)
+        if t.kind == "ident" and t.text == "not":
+            self.advance()
+            return self._negated(self.reg_base(), t.pos)
+        if t.kind == "ident" and t.text == "T":
+            self.advance()
+            return RAct(AnyAct())
+        if t.kind == "string":
+            self.advance()
+            raw = t.text[1:-1].replace('\\"', '"')
+            if raw.endswith("*"):
+                return RAct(ActLit(raw[:-1], prefix=True))
+            return RAct(ActLit(raw))
+        if t.kind == "ident":
+            self.advance()
+            label = t.text
+            if self.at_sym("("):
+                label += self._arg_suffix()
+                if label.endswith("(*)"):
+                    return RAct(ActLit(label[:-2], prefix=True))
+            return RAct(ActLit(label))
+        raise FormulaSyntaxError(
+            f"expected an action predicate, found {t.text or 'end of input'!r}",
+            position=t.pos,
+        )
+
+    def _negated(self, base: Regular, pos: int) -> Regular:
+        pred = self._as_predicate(base)
+        if pred is None:
+            raise FormulaSyntaxError(
+                "negation applies to action predicates (including unions "
+                "of predicates), not to regular expressions",
+                position=pos,
+            )
+        return RAct(NotAct(pred))
+
+    def _as_predicate(self, reg: Regular):
+        """Fold a union of single-step predicates into one predicate."""
+        if isinstance(reg, RAct):
+            return reg.pred
+        if isinstance(reg, RAlt):
+            left = self._as_predicate(reg.left)
+            right = self._as_predicate(reg.right)
+            if left is not None and right is not None:
+                from repro.mucalc.syntax import OrAct
+
+                return OrAct(left, right)
+        return None
+
+    def _arg_suffix(self) -> str:
+        """Consume '(' args ')' and return the exact text, e.g. '(t0,r1)'."""
+        self.expect("sym", "(")
+        parts: list[str] = ["("]
+        first = True
+        while not self.at_sym(")"):
+            if not first:
+                self.expect("sym", ",")
+                parts.append(",")
+            t = self.cur
+            if t.kind in ("ident", "number") or (
+                t.kind == "sym" and t.text == "*"
+            ):
+                parts.append(t.text)
+                self.advance()
+            else:
+                raise FormulaSyntaxError(
+                    f"bad action argument {t.text!r}", position=t.pos
+                )
+            first = False
+        self.expect("sym", ")")
+        parts.append(")")
+        return "".join(parts)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``text`` into a state formula AST.
+
+    Raises :class:`~repro.errors.FormulaSyntaxError` with a character
+    position on malformed input.
+    """
+    p = _Parser(text)
+    f = p.formula()
+    if p.cur.kind != "eof":
+        raise FormulaSyntaxError(
+            f"trailing input starting at {p.cur.text!r}", position=p.cur.pos
+        )
+    return f

@@ -1,0 +1,114 @@
+"""Reusable formula patterns.
+
+The paper's four requirements instantiate classic property schemas;
+this module names them so protocol-specific code (and downstream users)
+can build correct formulas without hand-assembling fixpoints:
+
+* :func:`never` — safety: no path matching a regular prefix;
+* :func:`eventually_reachable` — possibility;
+* :func:`inevitably` — the paper's Requirement-4 schema;
+* :func:`fair_inevitably` — its fair reformulation for cyclic systems;
+* :func:`exclusion` — "between A and B, never C" (the lock-discipline
+  schema used for the Table-6 lock manager);
+* :func:`responds` — every A is eventually followed by B (bounded
+  systems) in its exact form.
+"""
+
+from __future__ import annotations
+
+from repro.mucalc.syntax import (
+    ActionPredicate,
+    ActLit,
+    And,
+    AnyAct,
+    Box,
+    Diamond,
+    Ff,
+    Formula,
+    Mu,
+    NotAct,
+    RAct,
+    Regular,
+    RSeq,
+    RStar,
+    Tt,
+    Var,
+)
+
+
+def _pred(p: str | ActionPredicate) -> ActionPredicate:
+    if isinstance(p, ActionPredicate):
+        return p
+    return ActLit(p)
+
+
+def _t_star() -> Regular:
+    return RStar(RAct(AnyAct()))
+
+
+def never(p: str | ActionPredicate) -> Formula:
+    """``[T*.p] F`` — action ``p`` never happens (Requirement 3.1's
+    shape with ``p = c_home``)."""
+    return Box(RSeq(_t_star(), RAct(_pred(p))), Ff())
+
+
+def eventually_reachable(p: str | ActionPredicate) -> Formula:
+    """``<T*.p> T`` — some run performs ``p``."""
+    return Diamond(RSeq(_t_star(), RAct(_pred(p))), Tt())
+
+
+def inevitably(p: str | ActionPredicate, var: str = "X") -> Formula:
+    """``mu X. (<T>T /\\ [not p] X)`` — every run performs ``p``
+    (the inner formula of the paper's Requirement 4)."""
+    return Mu(
+        var,
+        And(
+            Diamond(RAct(AnyAct()), Tt()),
+            Box(RAct(NotAct(_pred(p))), Var(var)),
+        ),
+    )
+
+
+def responds(
+    trigger: str | ActionPredicate, response: str | ActionPredicate
+) -> Formula:
+    """``[T*.trigger] mu X. (<T>T /\\ [not response] X)`` — after every
+    ``trigger``, ``response`` is inevitable (Requirement 4 verbatim)."""
+    return Box(RSeq(_t_star(), RAct(_pred(trigger))), inevitably(response))
+
+
+def fair_responds(
+    trigger: str | ActionPredicate, response: str | ActionPredicate
+) -> Formula:
+    """The fair variant: while ``response`` has not yet happened after a
+    ``trigger``, it remains reachable."""
+    not_resp = RAct(NotAct(_pred(response)))
+    pending = RSeq(RSeq(_t_star(), RAct(_pred(trigger))), RStar(not_resp))
+    can = Diamond(RSeq(RStar(not_resp), RAct(_pred(response))), Tt())
+    return Box(pending, can)
+
+
+def exclusion(
+    enter: str | ActionPredicate,
+    leave: str | ActionPredicate,
+    forbidden: str | ActionPredicate,
+) -> Formula:
+    """``[T*.enter.(not leave)*.forbidden] F`` — between ``enter`` and
+    the next ``leave``, ``forbidden`` cannot occur. The mutual-exclusion
+    schema for the protocol locks."""
+    return Box(
+        RSeq(
+            RSeq(
+                RSeq(_t_star(), RAct(_pred(enter))),
+                RStar(RAct(NotAct(_pred(leave)))),
+            ),
+            RAct(_pred(forbidden)),
+        ),
+        Ff(),
+    )
+
+
+def always_possible(p: str | ActionPredicate) -> Formula:
+    """``[T*] <T*.p> T`` — from every reachable state, ``p`` remains
+    reachable (deadlock-freedom relative to ``p``)."""
+    return Box(_t_star(), eventually_reachable(p))

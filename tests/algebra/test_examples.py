@@ -1,0 +1,116 @@
+"""Tests for the classic algebra examples (buffers, ABP)."""
+
+import pytest
+
+from repro.algebra.examples import (
+    alternating_bit_protocol,
+    one_place_buffer,
+    two_place_buffer,
+)
+from repro.lts.deadlock import find_deadlocks
+from repro.lts.explore import explore
+from repro.lts.reduction import bisimilar, minimize_branching
+from repro.mucalc.checker import holds
+from repro.mucalc.parser import parse_formula
+
+
+@pytest.fixture(scope="module")
+def abp_lts():
+    return explore(alternating_bit_protocol())
+
+
+def test_one_place_buffer_shape():
+    l = explore(one_place_buffer())
+    assert l.n_states == 3
+    assert sorted(l.labels) == ["in(0)", "in(1)", "out(0)", "out(1)"]
+
+
+def test_two_place_buffer_can_hold_two():
+    l = explore(two_place_buffer())
+    f = parse_formula("<in(0).tau.in(1)> T")
+    assert holds(l, f)
+    # but not three
+    f3 = parse_formula("<in(0).tau.in(1).in(0)> T")
+    assert not holds(l, f3)
+
+
+def test_buffers_not_bisimilar():
+    b1 = explore(one_place_buffer())
+    b2 = explore(two_place_buffer())
+    assert not bisimilar(b1, b2, kind="branching")
+
+
+def test_abp_deadlock_free(abp_lts):
+    assert find_deadlocks(abp_lts).deadlock_free
+
+
+def test_abp_is_a_one_place_buffer(abp_lts):
+    """The classical ABP correctness theorem, via branching bisimulation."""
+    b1 = explore(one_place_buffer())
+    assert bisimilar(abp_lts, b1, kind="branching")
+    assert not bisimilar(abp_lts, b1, kind="strong")
+
+
+def test_abp_reduces_to_three_states(abp_lts):
+    reduced = minimize_branching(abp_lts)
+    assert reduced.n_states == 3
+    assert reduced.n_transitions == 4
+
+
+def test_abp_no_message_invention(abp_lts):
+    # an out(d) can only follow an in(d) with the same datum
+    for d in (0, 1):
+        other = 1 - d
+        f = parse_formula(
+            f"[(not in({d}))*.out({d})] F"
+        )
+        assert holds(abp_lts, f), f"out({d}) before any in({d})"
+        del other
+
+
+def test_abp_delivery_remains_possible(abp_lts):
+    # lossy channels may retry forever, but delivery stays reachable
+    f = parse_formula("[T*.in(1).(not out(1))*] <T*.out(1)> T")
+    assert holds(abp_lts, f)
+
+
+def test_abp_exact_inevitability_fails_without_fairness(abp_lts):
+    # the channels can lose every frame: exact inevitability is false —
+    # exactly why branching (not strong) equivalence is the right notion
+    f = parse_formula("[T*.in(1)] mu X. (<T>T /\\ [not out(1)] X)")
+    assert not holds(abp_lts, f)
+
+
+def test_larger_value_domain():
+    l = explore(alternating_bit_protocol(values=(0, 1, 2)))
+    b1 = explore(one_place_buffer(values=(0, 1, 2)))
+    assert bisimilar(l, b1, kind="branching")
+
+
+def test_abp_divergence_sensitivity(abp_lts):
+    """Divergence-sensitive branching bisimulation rejects the ABP =
+    buffer equation: the lossy channels can babble (tau-diverge)
+    forever. The divergence-blind verdict is the fairness assumption
+    made explicit."""
+    b1 = explore(one_place_buffer())
+    assert bisimilar(abp_lts, b1, kind="branching")
+    assert not bisimilar(abp_lts, b1, kind="branching-div")
+
+
+def test_divergence_sensitive_reflexive(abp_lts):
+    assert bisimilar(abp_lts, abp_lts, kind="branching-div")
+
+
+def test_divergence_sensitive_on_tau_free_systems():
+    b1 = explore(one_place_buffer())
+    b2 = explore(two_place_buffer())
+    # tau-free (b1) and tau-converging (b2) systems: -div agrees with blind
+    assert bisimilar(b2, b2, kind="branching-div")
+    assert not bisimilar(b1, b2, kind="branching-div")
+
+
+def test_unknown_bisimulation_kind_rejected(abp_lts):
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError, match="unknown"):
+        bisimilar(abp_lts, abp_lts, kind="telepathic")

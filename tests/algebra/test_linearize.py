@@ -1,0 +1,219 @@
+"""Tests for linearization and the LPE expansion theorem."""
+
+import pytest
+
+from repro.algebra import (
+    Act,
+    Alt,
+    Call,
+    Comm,
+    Cond,
+    Delta,
+    DVar,
+    FiniteSort,
+    Fn,
+    ProcessDef,
+    Seq,
+    Spec,
+    SpecSystem,
+    Sum,
+)
+from repro.algebra.examples import alternating_bit_protocol, one_place_buffer
+from repro.algebra.linearize import (
+    NEXT_TERM,
+    encapsulate,
+    hide_actions,
+    linearize,
+    parallel_expand,
+)
+from repro.errors import SpecificationError
+from repro.lts.explore import explore
+from repro.lts.reduction import bisimilar
+
+D = FiniteSort("D", (0, 1))
+
+
+def spec_of(*defs) -> Spec:
+    return Spec(defs=list(defs))
+
+
+def assert_equivalent(spec: Spec, init: Call) -> None:
+    """Linearised semantics must be strongly bisimilar to the SOS one."""
+    lpe = linearize(spec, init)
+    direct = explore(SpecSystem(spec, init))
+    via_lpe = explore(lpe)
+    assert bisimilar(via_lpe, direct, kind="strong"), lpe.describe()
+
+
+def test_buffer():
+    spec = spec_of(
+        ProcessDef("B", (), Sum("d", D, Seq(Act("in", DVar("d")),
+                                            Seq(Act("out", DVar("d")), Call("B")))))
+    )
+    lpe = linearize(spec, Call("B"))
+    assert lpe.n_positions() == 2
+    assert len(lpe.summands) == 2
+    assert lpe.action_names() == {"in", "out"}
+    assert_equivalent(spec, Call("B"))
+
+
+def test_parameterised_recursion():
+    inc = Fn("inc", lambda x: (x + 1) % 3, DVar("n"))
+    spec = spec_of(
+        ProcessDef("C", ("n",), Seq(Act("tick", DVar("n")), Call("C", inc)))
+    )
+    assert_equivalent(spec, Call("C", 0))
+
+
+def test_choice_and_conditions():
+    eq0 = Fn("eq0", lambda x: x == 0, DVar("n"))
+    spec = spec_of(
+        ProcessDef(
+            "P", ("n",),
+            Cond(Seq(Act("zero"), Call("P", 1)),
+                 eq0,
+                 Alt(Seq(Act("one"), Call("P", 0)), Act("stop"))),
+        )
+    )
+    assert_equivalent(spec, Call("P", 0))
+    lpe = linearize(spec, Call("P", 0))
+    # the conditional produced complementary path conditions
+    assert any(s.conds for s in lpe.summands)
+    # 'stop' terminates
+    stops = [s for s in lpe.summands if s.action == "stop"]
+    assert stops and stops[0].next_kind == NEXT_TERM
+
+
+def test_seq_rotation():
+    # ((a.b).c).P — nested left Seq must rotate
+    spec = spec_of(
+        ProcessDef("P", (), Seq(Seq(Seq(Act("a"), Act("b")), Act("c")), Call("P")))
+    )
+    assert_equivalent(spec, Call("P"))
+
+
+def test_inlining_substitution_avoids_capture():
+    # P's sum variable d flows into Q via an actionless call; Q's own
+    # sum over d must be renamed during inlining or the argument would
+    # be captured
+    spec = spec_of(
+        ProcessDef(
+            "Q", ("x",),
+            Sum("d", D, Seq(Act("b", DVar("d"), DVar("x")),
+                            Call("Q", DVar("x")))),
+        ),
+        ProcessDef("P", (), Sum("d", D, Call("Q", DVar("d")))),
+    )
+    assert_equivalent(spec, Call("P"))
+    lpe = linearize(spec, Call("P"))
+    # labels must pair every (d', x) combination, so b(0,1) is reachable
+    lts = explore(lpe)
+    assert "b(0,1)" in lts.labels
+
+
+def test_actionless_call_inlined():
+    spec = spec_of(
+        ProcessDef("P", (), Alt(Call("Q"), Seq(Act("p"), Call("P")))),
+        ProcessDef("Q", (), Seq(Act("q"), Call("Q"))),
+    )
+    assert_equivalent(spec, Call("P"))
+
+
+def test_non_tail_call_rejected():
+    spec = spec_of(
+        ProcessDef("P", (), Seq(Call("Q"), Act("after"))),
+        ProcessDef("Q", (), Act("q")),
+    )
+    with pytest.raises(SpecificationError, match="non-tail"):
+        linearize(spec, Call("P"))
+
+
+def test_init_must_be_closed_call():
+    spec = spec_of(ProcessDef("P", (), Act("a")))
+    with pytest.raises(SpecificationError):
+        linearize(spec, Act("a"))  # type: ignore[arg-type]
+    with pytest.raises(SpecificationError):
+        linearize(spec, Call("P", DVar("x")))
+
+
+def test_describe_output():
+    spec = spec_of(
+        ProcessDef("B", (), Sum("d", D, Seq(Act("in", DVar("d")),
+                                            Seq(Act("out", DVar("d")), Call("B")))))
+    )
+    text = linearize(spec, Call("B")).describe()
+    assert "sum(d:D)" in text
+    assert "in(d)" in text
+
+
+def test_parallel_expansion_simple():
+    spec = spec_of(
+        ProcessDef("S", (), Seq(Act("s", 1), Call("S"))),
+        ProcessDef("R", (), Seq(Act("r", 1), Call("R"))),
+    )
+    comm = Comm(("s", "r", "c"))
+    prod = parallel_expand(
+        linearize(spec, Call("S")), linearize(spec, Call("R")), comm
+    )
+    lts = explore(prod)
+    assert "c(1)" in lts.labels
+    closed = encapsulate(prod, ["s", "r"])
+    lts2 = explore(closed)
+    assert set(lts2.labels) == {"c(1)"}
+
+
+def test_hiding_on_product():
+    spec = spec_of(
+        ProcessDef("S", (), Seq(Act("s", 1), Call("S"))),
+        ProcessDef("R", (), Seq(Act("r", 1), Call("R"))),
+    )
+    comm = Comm(("s", "r", "c"))
+    prod = hide_actions(
+        encapsulate(
+            parallel_expand(
+                linearize(spec, Call("S")), linearize(spec, Call("R")), comm
+            ),
+            ["s", "r"],
+        ),
+        ["c"],
+    )
+    lts = explore(prod)
+    assert lts.labels == ["tau"]
+
+
+def test_full_abp_pipeline_via_lpes():
+    """The complete muCRL pipeline: linearise ABP components, apply the
+    expansion theorem, encapsulate, hide — and get exactly the direct
+    SOS semantics (strong bisimilarity) and the one-place buffer
+    (branching bisimilarity)."""
+    sys_direct = alternating_bit_protocol()
+    spec = sys_direct.spec
+    comm = Comm(
+        ("s_frame", "k_in", "c_frame_in"),
+        ("k_out", "r_frame", "c_frame_out"),
+        ("k_err", "r_frame_err", "c_frame_err"),
+        ("s_ack", "l_in", "c_ack_in"),
+        ("l_out", "r_ack", "c_ack_out"),
+        ("l_err", "r_ack_err", "c_ack_err"),
+    )
+    send = linearize(spec, Call("Send", 0))
+    recv = linearize(spec, Call("Recv", 0))
+    chan_k = linearize(spec, Call("K"))
+    chan_l = linearize(spec, Call("L"))
+    prod = parallel_expand(
+        parallel_expand(parallel_expand(send, chan_k, comm), chan_l, comm),
+        recv,
+        comm,
+    )
+    blocked = [
+        "s_frame", "k_in", "k_out", "r_frame", "k_err", "r_frame_err",
+        "s_ack", "l_in", "l_out", "r_ack", "l_err", "r_ack_err",
+    ]
+    internal = [
+        "c_frame_in", "c_frame_out", "c_frame_err",
+        "c_ack_in", "c_ack_out", "c_ack_err",
+    ]
+    prod = hide_actions(encapsulate(prod, blocked), internal)
+    lts = explore(prod)
+    assert bisimilar(lts, explore(sys_direct), kind="strong")
+    assert bisimilar(lts, explore(one_place_buffer()), kind="branching")

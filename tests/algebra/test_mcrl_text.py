@@ -1,0 +1,175 @@
+"""Tests for the textual specification format."""
+
+import pytest
+
+from repro.algebra.mcrl_text import parse_mcrl
+from repro.algebra.examples import one_place_buffer
+from repro.errors import SpecificationError
+from repro.lts.explore import explore
+from repro.lts.reduction import bisimilar
+
+BUFFER = """
+% the canonical one-place buffer
+sort D = 0 | 1
+proc B = sum(d: D, in(d) . out(d) . B)
+init B
+"""
+
+
+def test_buffer_roundtrip():
+    module = parse_mcrl(BUFFER)
+    lts = explore(module.system())
+    assert bisimilar(lts, explore(one_place_buffer()), kind="strong")
+
+
+def test_comment_and_sorts():
+    module = parse_mcrl(BUFFER)
+    assert module.sorts["D"].values == (0, 1)
+
+
+def test_symbolic_sort_values():
+    text = """
+sort Color = red | green
+proc P = sum(c: Color, show(c) . P)
+init P
+"""
+    lts = explore(parse_mcrl(text).system())
+    assert sorted(lts.labels) == ["show(green)", "show(red)"]
+
+
+def test_two_buffers_with_comm():
+    text = """
+sort D = 0 | 1
+proc Left = sum(d: D, in(d) . s_link(d) . Left)
+proc Right = sum(d: D, r_link(d) . out(d) . Right)
+comm s_link | r_link = c_link
+init hide({c_link}, encap({s_link, r_link}, Left || Right))
+"""
+    module = parse_mcrl(text)
+    lts = explore(module.system())
+    from repro.algebra.examples import two_place_buffer
+
+    assert bisimilar(lts, explore(two_place_buffer()), kind="strong")
+
+
+def test_conditional_and_builtin_functions():
+    text = """
+sort Bit = 0 | 1
+proc P(b: Bit) = (is_zero(b) . P(flip(b))) <| eq(b, 0) |> (is_one(b) . P(flip(b)))
+init P(0)
+"""
+    lts = explore(parse_mcrl(text).system())
+    assert sorted(lts.labels) == ["is_one(1)", "is_zero(0)"]
+    assert lts.n_states == 2
+
+
+def test_eqeq_sugar():
+    text = """
+sort Bit = 0 | 1
+proc P(b: Bit) = zero . P(flip(b)) <| b == 0 |> one . P(flip(b))
+init P(0)
+"""
+    lts = explore(parse_mcrl(text).system())
+    assert set(lts.labels) == {"zero", "one"}
+
+
+def test_custom_functions():
+    text = """
+sort N = 0 | 1 | 2
+func double
+proc P(n: N) = tick(double(n)) . P(inc(n)) <| ne(n, 2) |> done
+init P(0)
+"""
+    module = parse_mcrl(text, functions={"double": lambda n: 2 * n})
+    lts = explore(module.system())
+    assert "tick(2)" in lts.labels
+    assert "done" in lts.labels
+
+
+def test_undeclared_function_rejected():
+    with pytest.raises(SpecificationError, match="not supplied"):
+        parse_mcrl("func mystery\nproc P = a\ninit P")
+
+
+def test_unknown_function_in_expr_rejected():
+    text = """
+sort D = 0 | 1
+proc P = a(zap(1)) . P
+init P
+"""
+    with pytest.raises(SpecificationError, match="unknown function"):
+        parse_mcrl(text)
+
+
+def test_missing_init_rejected():
+    with pytest.raises(SpecificationError, match="missing init"):
+        parse_mcrl("proc P = a . P")
+
+
+def test_duplicate_init_rejected():
+    with pytest.raises(SpecificationError, match="duplicate init"):
+        parse_mcrl("proc P = a . P\ninit P\ninit P")
+
+
+def test_unknown_sort_rejected():
+    with pytest.raises(SpecificationError, match="unknown sort"):
+        parse_mcrl("proc P = sum(d: Nope, a(d) . P)\ninit P")
+
+
+def test_validation_happens():
+    # call arity errors surface through Spec validation
+    text = """
+proc P(x: D) = a(x) . P(x)
+init P
+"""
+    with pytest.raises(SpecificationError):
+        parse_mcrl(text)
+
+
+def test_parse_error_carries_line():
+    with pytest.raises(SpecificationError, match="line 3"):
+        parse_mcrl("proc P = a . P\ninit P\n???")
+
+
+def test_tau_and_delta():
+    text = """
+proc P = tau . delta + a . P
+init P
+"""
+    lts = explore(parse_mcrl(text).system())
+    assert set(lts.labels) == {"tau", "a"}
+
+
+def test_abp_from_text_file():
+    """The ABP, written as a textual specification, still verifies."""
+    text = """
+sort D = 0 | 1
+sort Bit = 0 | 1
+
+proc Send(b: Bit) = sum(d: D, in(d) . Sending(d, b))
+proc Sending(d: D, b: Bit) =
+    s_frame(d, b) . ( r_ack(b) . Send(flip(b))
+                    + r_ack(flip(b)) . Sending(d, b)
+                    + r_ack_err . Sending(d, b) )
+proc Recv(b: Bit) =
+      sum(d: D, r_frame(d, b) . out(d) . s_ack(b) . Recv(flip(b))
+              + r_frame(d, flip(b)) . s_ack(flip(b)) . Recv(b))
+    + r_frame_err . s_ack(flip(b)) . Recv(b)
+proc K = sum(d: D, sum(b: Bit, k_in(d, b) . (k_out(d, b) . K + k_err . K)))
+proc L = sum(b: Bit, l_in(b) . (l_out(b) . L + l_err . L))
+
+comm s_frame | k_in = c_fin
+comm k_out | r_frame = c_fout
+comm k_err | r_frame_err = c_ferr
+comm s_ack | l_in = c_ain
+comm l_out | r_ack = c_aout
+comm l_err | r_ack_err = c_aerr
+
+init hide({c_fin, c_fout, c_ferr, c_ain, c_aout, c_aerr},
+     encap({s_frame, k_in, k_out, r_frame, k_err, r_frame_err,
+            s_ack, l_in, l_out, r_ack, l_err, r_ack_err},
+            Send(0) || K || L || Recv(0)))
+"""
+    module = parse_mcrl(text)
+    lts = explore(module.system())
+    assert bisimilar(lts, explore(one_place_buffer()), kind="branching")

@@ -1,0 +1,68 @@
+"""Tests for runtime-term pretty printing."""
+
+from repro.algebra import (
+    Act,
+    Alt,
+    Call,
+    Comm,
+    Delta,
+    Encap,
+    Hide,
+    Par,
+    ProcessDef,
+    Rename,
+    Seq,
+    Spec,
+    SpecSystem,
+    pretty_term,
+)
+from repro.algebra.semantics import TERMINATED
+
+SPEC = Spec(defs=[ProcessDef("P", (), Act("a"))])
+SYS = SpecSystem(SPEC, Act("a"))
+
+
+def close(term):
+    return SYS.close(term, {})
+
+
+def test_terminated():
+    assert pretty_term(TERMINATED) == "√"
+
+
+def test_delta_and_act():
+    assert pretty_term(close(Delta())) == "delta"
+    assert pretty_term(close(Act("a"))) == "a"
+    assert pretty_term(close(Act("a", 1, 2))) == "a(1,2)"
+
+
+def test_call():
+    assert pretty_term(close(Call("P"))) == "P"
+
+
+def test_seq_and_alt():
+    t = close(Seq(Act("a"), Alt(Act("b"), Act("c"))))
+    assert pretty_term(t) == "a . (b + c)"
+    t2 = close(Alt(Seq(Act("a"), Act("b")), Act("c")))
+    assert pretty_term(t2) == "a . b + c"
+
+
+def test_par():
+    t = close(Par(Act("a"), Act("b"), Comm(("a", "b", "c"))))
+    assert pretty_term(t) == "(a || b)"
+
+
+def test_encap_hide_rename():
+    assert pretty_term(close(Encap(["x"], Act("a")))) == "encap({x}, a)"
+    assert pretty_term(close(Hide(["x", "y"], Act("a")))) == "hide({x,y}, a)"
+    assert pretty_term(close(Rename({"a": "z"}, Act("a")))) == (
+        "rename({a->z}, a)"
+    )
+
+
+def test_state_pretty_through_execution():
+    sys = SpecSystem(SPEC, Seq(Act("a"), Call("P")))
+    s0 = sys.initial_state()
+    assert pretty_term(s0) == "a . P"
+    ((_, s1),) = sys.successors(s0)
+    assert pretty_term(s1) == "P"

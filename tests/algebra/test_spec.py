@@ -1,0 +1,99 @@
+"""Tests for specification validation."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.algebra import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    DVar,
+    FiniteSort,
+    ProcessDef,
+    Seq,
+    Spec,
+    Sum,
+)
+
+D = FiniteSort("D", (0, 1))
+
+
+def test_valid_spec():
+    spec = Spec(defs=[ProcessDef("P", ("x",), Act("a", DVar("x")))])
+    assert spec.lookup("P").params == ("x",)
+    assert list(spec.process_names()) == ["P"]
+
+
+def test_duplicate_definition_rejected():
+    with pytest.raises(SpecificationError, match="duplicate"):
+        Spec(defs=[
+            ProcessDef("P", (), Act("a")),
+            ProcessDef("P", (), Act("b")),
+        ])
+
+
+def test_duplicate_params_rejected():
+    with pytest.raises(SpecificationError, match="duplicate parameter"):
+        Spec(defs=[ProcessDef("P", ("x", "x"), Act("a"))])
+
+
+def test_unknown_call_rejected():
+    with pytest.raises(SpecificationError, match="unknown process"):
+        Spec(defs=[ProcessDef("P", (), Call("Q"))])
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(SpecificationError, match="parameter"):
+        Spec(defs=[
+            ProcessDef("P", ("x",), Act("a", DVar("x"))),
+            ProcessDef("Q", (), Call("P")),
+        ])
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(SpecificationError, match="unbound"):
+        Spec(defs=[ProcessDef("P", (), Act("a", DVar("x")))])
+
+
+def test_unbound_in_condition_rejected():
+    with pytest.raises(SpecificationError, match="unbound"):
+        Spec(defs=[ProcessDef("P", (), Cond(Act("a"), DVar("b")))])
+
+
+def test_sum_binds_variable():
+    Spec(defs=[ProcessDef("P", (), Sum("d", D, Act("a", DVar("d"))))])
+
+
+def test_sum_shadowing_rejected():
+    with pytest.raises(SpecificationError, match="shadows"):
+        Spec(defs=[
+            ProcessDef("P", ("d",), Sum("d", D, Act("a", DVar("d"))))
+        ])
+
+
+def test_lookup_unknown():
+    spec = Spec(defs=[ProcessDef("P", (), Act("a"))])
+    with pytest.raises(SpecificationError, match="unknown"):
+        spec.lookup("Nope")
+
+
+def test_validate_extra_terms():
+    spec = Spec(defs=[ProcessDef("P", ("x",), Act("a", DVar("x")))])
+    with pytest.raises(SpecificationError):
+        spec.validate(extra_terms=[Call("P")])
+    spec.validate(extra_terms=[Call("P", 1)])
+
+
+def test_nested_operators_checked():
+    with pytest.raises(SpecificationError, match="unbound"):
+        Spec(defs=[
+            ProcessDef("P", (), Seq(Act("a"), Alt(Act("b", DVar("q")), Act("c"))))
+        ])
+
+
+def test_str_of_def():
+    d = ProcessDef("P", ("x",), Act("a", DVar("x")))
+    assert str(d) == "proc P(x) = a(x)"
+    d2 = ProcessDef("Q", (), Act("b"))
+    assert str(d2) == "proc Q = b"

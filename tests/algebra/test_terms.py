@@ -1,0 +1,82 @@
+"""Tests for term and expression construction."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Const,
+    Delta,
+    DVar,
+    FiniteSort,
+    Fn,
+    Seq,
+    Sum,
+    Tau,
+)
+
+
+def test_const_and_var_eval():
+    assert Const(7).eval({}) == 7
+    assert DVar("x").eval({"x": 3}) == 3
+    with pytest.raises(SpecificationError, match="unbound"):
+        DVar("x").eval({})
+
+
+def test_fn_eval_and_coercion():
+    f = Fn("add", lambda a, b: a + b, DVar("x"), 1)
+    assert f.eval({"x": 2}) == 3
+    assert f.free() == {"x"}
+    assert str(f) == "add(x, 1)"
+
+
+def test_act_coerces_args():
+    a = Act("send", 1, DVar("d"))
+    assert isinstance(a.args[0], Const)
+    assert a.free() == {"d"}
+    assert str(a) == "send(1, d)"
+    assert str(Act("ping")) == "ping"
+
+
+def test_tau_restrictions():
+    assert Tau().name == "tau"
+    with pytest.raises(SpecificationError):
+        Act("tau", 1)
+    with pytest.raises(SpecificationError):
+        Act("delta")
+
+
+def test_finite_sort_nonempty():
+    with pytest.raises(SpecificationError):
+        FiniteSort("E", ())
+    assert FiniteSort("B", (True, False)).values == (True, False)
+
+
+def test_free_variables_through_operators():
+    t = Seq(Act("a", DVar("x")), Alt(Act("b", DVar("y")), Delta()))
+    assert t.free() == {"x", "y"}
+    s = Sum("x", FiniteSort("D", (0, 1)), Act("a", DVar("x"), DVar("z")))
+    assert s.free() == {"z"}
+
+
+def test_cond_defaults_to_delta():
+    c = Cond(Act("a"), True)
+    assert isinstance(c.els, Delta)
+    assert c.free() == frozenset()
+
+
+def test_cond_free_includes_condition():
+    c = Cond(Act("a"), DVar("b"), Act("c"))
+    assert c.free() == {"b"}
+
+
+def test_str_renderings():
+    assert str(Delta()) == "delta"
+    assert "+" in str(Alt(Act("a"), Act("b")))
+    assert "sum(" in str(Sum("d", FiniteSort("D", (0,)), Act("a", DVar("d"))))
+    assert "<|" in str(Cond(Act("a"), True, Act("b")))
+    assert str(Call("P", 1)) == "P(1)"
+    assert str(Call("P")) == "P"

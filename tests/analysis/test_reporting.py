@@ -1,0 +1,59 @@
+"""Tests for ASCII report tables."""
+
+from repro.analysis.reporting import Table, format_table
+
+
+def test_basic_table():
+    out = format_table(
+        [{"config": "C1", "states": 1234}, {"config": "C2", "states": 56}],
+        ["config", "states"],
+    )
+    lines = out.splitlines()
+    assert lines[0].startswith("+-")
+    assert "| config" in lines[1]
+    assert "1,234" in out
+    assert out.count("+-") >= 3
+
+
+def test_title():
+    out = format_table([{"a": 1}], title="Table 8")
+    assert out.splitlines()[0] == "Table 8"
+
+
+def test_column_autodetection_order():
+    out = format_table([{"b": 1}, {"a": 2, "b": 3}])
+    header = out.splitlines()[1]
+    assert header.index("b") < header.index("a")
+
+
+def test_value_formatting():
+    out = format_table(
+        [{"ok": True, "no": False, "f": 1.23456, "s": "x"}],
+        ["ok", "no", "f", "s"],
+    )
+    assert "yes" in out and "no" in out
+    assert "1.235" in out
+
+
+def test_numeric_right_alignment():
+    out = format_table(
+        [{"n": 1}, {"n": 1000000}],
+        ["n"],
+    )
+    rows = [l for l in out.splitlines() if l.startswith("|")][1:]
+    assert rows[0].endswith("        1 |")
+
+
+def test_missing_cells():
+    out = format_table([{"a": 1}, {"b": 2}], ["a", "b"])
+    assert out  # renders without error
+
+
+def test_table_builder():
+    t = Table("demo", ["x", "y"])
+    t.add(x=1, y=2)
+    t.add(x=3, y=4)
+    r = t.render()
+    assert "demo" in r
+    assert "3" in r
+    assert str(t) == r

@@ -1,0 +1,83 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.lts.lts import LTS, TAU
+
+
+class ChainSystem:
+    """a-b-c chain with a branch; the standard tiny test system."""
+
+    def initial_state(self):
+        return 0
+
+    def successors(self, s):
+        table = {
+            0: [("a", 1), ("b", 3)],
+            1: [("b", 2)],
+            2: [("c", 0)],
+            3: [],
+        }
+        return table[s]
+
+
+@pytest.fixture
+def chain_system():
+    return ChainSystem()
+
+
+@pytest.fixture
+def small_lts() -> LTS:
+    """0 -a-> 1 -b-> 2 -c-> 0, plus 1 -d-> 3 (terminal)."""
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "b", 2)
+    l.add_transition(2, "c", 0)
+    l.add_transition(1, "d", 3)
+    return l
+
+
+@pytest.fixture
+def tau_lts() -> LTS:
+    """0 -tau-> 1 -a-> 2 ; 0 -a-> 2 (branching-bisim collapsible)."""
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    l.add_transition(1, "a", 2)
+    l.add_transition(0, "a", 2)
+    return l
+
+
+# -- hypothesis strategies --------------------------------------------------
+
+LABELS = ["a", "b", "c", TAU]
+
+
+@st.composite
+def random_lts(draw, max_states: int = 6, max_transitions: int = 12) -> LTS:
+    """A random small LTS (states reachable or not, any labels)."""
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    m = draw(st.integers(min_value=0, max_value=max_transitions))
+    l = LTS(0)
+    l.ensure_states(n)
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        lab = draw(st.sampled_from(LABELS))
+        l.add_transition(src, lab, dst)
+    return l
+
+
+class LTSAsSystem:
+    """Adapter: treat an explicit LTS as a TransitionSystem."""
+
+    def __init__(self, lts: LTS):
+        self.lts = lts
+
+    def initial_state(self):
+        return self.lts.initial
+
+    def successors(self, s):
+        return self.lts.successors(s)

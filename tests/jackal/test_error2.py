@@ -1,0 +1,95 @@
+"""Reproduction of the paper's Error 2 (Section 5.4.3).
+
+"The error may happen when a thread is writing to a region from remote.
+During its waiting for an up-to-date copy ... the home node may migrate
+(by a Region Sponmigrate message) to the processor where the thread
+resides. When the Data Return message ... arrives, the thread refreshes
+the region's home by the sender of the answer message. In the resulting
+state ... neither of the two processors is the home of the region."
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.jackal.model import JackalModel
+from repro.jackal.params import CONFIG_1, CONFIG_2, ProtocolVariant
+from repro.jackal.requirements import (
+    build_model,
+    check_requirement_3_1,
+    check_requirement_3_2,
+    check_requirement_4,
+)
+from repro.lts.trace import replay
+
+
+@pytest.fixture(scope="module")
+def violation_report():
+    # the paper found the error on configuration 2
+    return check_requirement_3_2(CONFIG_2, ProtocolVariant.error2())
+
+
+def test_3_2_violated(violation_report):
+    assert not violation_report.holds
+    assert violation_report.trace is not None
+
+
+def test_fix_restores_3_2():
+    rep = check_requirement_3_2(CONFIG_2, ProtocolVariant.fixed())
+    assert rep.holds, rep.summary()
+
+
+def test_witness_ends_in_homeless_stable_state(violation_report):
+    model = build_model(CONFIG_2, ProtocolVariant.error2(), probes=True)
+    t = replay(model, violation_report.trace.labels)
+    d = model.decode_state(t.final_state)
+    homes = [p for p in range(model.n_proc) if d["copies"][p][0]["home"] == p]
+    assert homes == []  # neither processor is the home
+    # and the state is stable: no lock held, queues empty
+    assert all(m is None for m in d["homequeue"] + d["remotequeue"])
+    for p in range(model.n_proc):
+        assert d["locks"][p]["server"] == 0
+        assert d["locks"][p]["fault"] == 0
+        assert d["locks"][p]["flush"] == 0
+
+
+def test_witness_contains_the_racing_messages(violation_report):
+    labels = violation_report.trace.labels
+    assert any(l.startswith("recv_sponmigrate") for l in labels)
+    assert any(l.startswith("signal") for l in labels)
+    # the sponmigrate must be processed before the stale data return
+    mig_at = min(
+        i for i, l in enumerate(labels) if l.startswith("recv_sponmigrate")
+    )
+    sig_at = max(i for i, l in enumerate(labels) if l.startswith("signal"))
+    assert mig_at < sig_at
+
+
+def test_3_1_still_holds_in_error2_variant():
+    # the bug loses the home; it never creates two of them
+    rep = check_requirement_3_1(CONFIG_2, ProtocolVariant.error2())
+    assert rep.holds
+
+
+def test_error_also_visible_on_config_1():
+    # our model exhibits the same race with only two threads; the paper
+    # reports it on the three-thread configuration (see EXPERIMENTS.md)
+    rep = check_requirement_3_2(CONFIG_1, ProtocolVariant.error2())
+    assert not rep.holds
+
+
+def test_trace_length(violation_report):
+    assert len(violation_report.trace) >= 15
+
+
+def test_homeless_region_breaks_liveness():
+    # once the home is lost, flushes bounce between the processors
+    # forever: the paper's Requirement 4 fails too
+    cfg = dataclasses.replace(CONFIG_2, rounds=None)
+    rep = check_requirement_4(cfg, ProtocolVariant.error2())
+    assert not rep.holds
+
+
+def test_fully_buggy_variant_also_violates():
+    rep = check_requirement_3_2(CONFIG_2, ProtocolVariant.buggy())
+    assert not rep.holds

@@ -1,0 +1,119 @@
+"""Property-based tests of the protocol model (hypothesis).
+
+Random walks through arbitrary configurations and variants must keep
+the model's structural guarantees: hashable deterministic successors,
+decodable states, lock sanity, and queue-capacity discipline. These
+complement the exhaustive sweeps of ``test_invariants.py`` with
+coverage of *unusual* configurations (multiple regions, uneven thread
+placement, many rounds).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jackal.model import VIOLATION, JackalModel, Phase
+from repro.jackal.params import Config, ProtocolVariant
+
+
+@st.composite
+def configs(draw):
+    n_proc = draw(st.integers(min_value=1, max_value=3))
+    tpp = tuple(
+        draw(st.integers(min_value=0, max_value=2)) for _ in range(n_proc)
+    )
+    if sum(tpp) == 0:
+        tpp = tpp[:-1] + (1,)
+    return Config(
+        threads_per_processor=tpp,
+        n_regions=draw(st.integers(min_value=1, max_value=2)),
+        initial_home=draw(st.integers(min_value=0, max_value=n_proc - 1)),
+        rounds=draw(st.sampled_from([1, 2, None])),
+        writes_per_round=draw(st.integers(min_value=1, max_value=2)),
+        with_probes=draw(st.booleans()),
+    )
+
+
+@st.composite
+def variants(draw):
+    return ProtocolVariant(
+        fault_lock_recheck=draw(st.booleans()),
+        sponmigrate_informs_threads=draw(st.booleans()),
+        home_migration=draw(st.booleans()),
+    )
+
+
+def _walk(model, seed: int, steps: int = 60):
+    rng = random.Random(seed)
+    state = model.initial_state()
+    visited = [state]
+    for _ in range(steps):
+        succ = model.successors(state)
+        if not succ:
+            break
+        _, state = succ[rng.randrange(len(succ))]
+        visited.append(state)
+    return visited
+
+
+@given(configs(), variants(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_random_walk_states_stay_sane(config, variant, seed):
+    model = JackalModel(config, variant)
+    for state in _walk(model, seed):
+        if state == VIOLATION:
+            continue
+        assert hash(state) == hash(state)
+        threads, copies, hq, rq, hqa, rqa, locks, migs = state
+        # thread sanity
+        for tid, th in enumerate(threads):
+            ph, reg, aho, wdone, rounds, dirty = th
+            assert 0 <= reg < config.n_regions
+            assert 0 <= wdone <= config.writes_per_round
+            assert Phase(ph) in Phase
+            assert dirty < (1 << config.n_regions)
+        # copy sanity: home pointers in range, localthreads bounded
+        for p in range(config.n_processors):
+            for r in range(config.n_regions):
+                home, rstate, wl, lt = copies[p][r]
+                assert 0 <= home < config.n_processors
+                assert 0 <= lt <= config.n_threads
+                assert wl < (1 << config.n_processors)
+        # at most one holder per lock, holders are local threads
+        for p in range(config.n_processors):
+            for slot in (0, 2, 4):
+                holder = locks[p][slot]
+                if holder:
+                    assert model.pid_of[holder - 1] == p
+
+
+@given(configs(), variants(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_successors_are_deterministic_and_decodable(config, variant, seed):
+    model = JackalModel(config, variant)
+    for state in _walk(model, seed, steps=25):
+        assert model.successors(state) == model.successors(state)
+        d = model.decode_state(state)
+        assert isinstance(d, dict)
+
+
+@given(configs(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_fixed_variant_never_hits_violation(config, seed):
+    model = JackalModel(config, ProtocolVariant.fixed())
+    for state in _walk(model, seed):
+        assert state != VIOLATION
+
+
+@given(configs(), variants(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_probe_self_loops_only(config, variant, seed):
+    from repro.jackal.actions import PROBE_LABELS
+
+    model = JackalModel(config, variant)
+    for state in _walk(model, seed, steps=25):
+        for label, nxt in model.successors(state):
+            if label in PROBE_LABELS:
+                assert nxt == state
+                assert config.with_probes

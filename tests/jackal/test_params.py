@@ -1,0 +1,65 @@
+"""Tests for configurations and variants."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.jackal.params import CONFIG_1, CONFIG_2, CONFIG_3, Config, ProtocolVariant
+
+
+def test_paper_configurations():
+    assert CONFIG_1.n_processors == 2 and CONFIG_1.n_threads == 2
+    assert CONFIG_2.n_processors == 2 and CONFIG_2.n_threads == 3
+    assert CONFIG_3.n_processors == 3 and CONFIG_3.n_threads == 3
+    for c in (CONFIG_1, CONFIG_2, CONFIG_3):
+        assert c.n_regions == 1
+
+
+def test_processor_of():
+    c = Config(threads_per_processor=(2, 1))
+    assert [c.processor_of(t) for t in range(3)] == [0, 0, 1]
+    with pytest.raises(ModelError):
+        c.processor_of(3)
+
+
+def test_thread_ids_of():
+    c = Config(threads_per_processor=(2, 1))
+    assert c.thread_ids_of(0) == [0, 1]
+    assert c.thread_ids_of(1) == [2]
+
+
+def test_describe():
+    c = Config(threads_per_processor=(2, 1), rounds=None)
+    assert c.describe() == "2p(2+1)x1reg,rounds=inf"
+    assert "rounds=1" in CONFIG_1.describe()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(threads_per_processor=()),
+        dict(threads_per_processor=(0, 0)),
+        dict(threads_per_processor=(-1, 2)),
+        dict(threads_per_processor=(1, 1), n_regions=0),
+        dict(threads_per_processor=(1, 1), initial_home=5),
+        dict(threads_per_processor=(1, 1), rounds=0),
+        dict(threads_per_processor=(1, 1), writes_per_round=0),
+    ],
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ModelError):
+        Config(**kwargs)
+
+
+def test_variant_factories():
+    assert ProtocolVariant.fixed().describe() == "fixed"
+    assert ProtocolVariant.buggy().describe() == "error1+error2"
+    assert ProtocolVariant.error1().describe() == "error1"
+    assert ProtocolVariant.error2().describe() == "error2"
+    assert ProtocolVariant.no_migration().describe() == "no-migration"
+
+
+def test_variant_flags():
+    v = ProtocolVariant.error1()
+    assert not v.fault_lock_recheck
+    assert v.sponmigrate_informs_threads
+    assert v.home_migration

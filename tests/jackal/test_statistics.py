@@ -1,0 +1,79 @@
+"""Tests for protocol traffic statistics."""
+
+import dataclasses
+
+import pytest
+
+from repro.jackal import CONFIG_1, CONFIG_2, JackalModel, ProtocolVariant
+from repro.jackal.statistics import (
+    ProtocolStatistics,
+    categorize_label,
+    protocol_statistics,
+)
+from repro.lts.explore import explore
+
+
+@pytest.fixture(scope="module")
+def stats_c2():
+    cfg = dataclasses.replace(CONFIG_2, rounds=1, with_probes=False)
+    lts = explore(JackalModel(cfg, ProtocolVariant.fixed()))
+    return protocol_statistics(lts)
+
+
+def test_categorize_label():
+    assert categorize_label("send_datareq(t0,p0,p1)") == "data_request"
+    assert categorize_label("send_dataret_mig(p0,p1)") == "migration_case1"
+    assert categorize_label("send_dataret(p0,p1)") == "data_return"
+    assert categorize_label("flush_home_migrate(t0,p0,p1)") == "migration_case2"
+    assert categorize_label("c_home") == "probe"
+    assert categorize_label("writeover(t1)") == "thread_write"
+    assert categorize_label("zzz") == "other"
+
+
+def test_totals_add_up(stats_c2):
+    assert stats_c2.total == sum(stats_c2.by_category.values())
+    assert stats_c2.total > 0
+    assert "other" not in stats_c2.by_category  # every label categorised
+
+
+def test_migration_traffic_present(stats_c2):
+    assert stats_c2.migrations > 0
+    assert stats_c2.count("sponmigrate_recv") > 0
+
+
+def test_messages_metric(stats_c2):
+    assert stats_c2.messages >= stats_c2.count("data_request")
+    assert 0 < stats_c2.share("data_request") < 1
+
+
+def test_no_bug_path_in_fixed(stats_c2):
+    assert stats_c2.count("bug_path") == 0
+    assert stats_c2.count("assertion") == 0
+
+
+def test_bug_path_in_error1_variant():
+    cfg = dataclasses.replace(CONFIG_1, rounds=None, with_probes=False)
+    lts = explore(JackalModel(cfg, ProtocolVariant.error1()))
+    stats = protocol_statistics(lts)
+    assert stats.count("bug_path") > 0
+
+
+def test_no_migration_variant_has_no_migration_traffic():
+    cfg = dataclasses.replace(CONFIG_2, rounds=1, with_probes=False)
+    lts = explore(JackalModel(cfg, ProtocolVariant.no_migration()))
+    stats = protocol_statistics(lts)
+    assert stats.migrations == 0
+    assert stats.count("sponmigrate_recv") == 0
+
+
+def test_as_rows_sorted(stats_c2):
+    rows = stats_c2.as_rows()
+    counts = [r["transitions"] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert abs(sum(r["share"] for r in rows) - 1.0) < 0.01
+
+
+def test_empty_statistics():
+    s = ProtocolStatistics()
+    assert s.share("anything") == 0.0
+    assert s.messages == 0

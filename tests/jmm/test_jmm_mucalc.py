@@ -1,0 +1,117 @@
+"""Model checking the JMM machine itself.
+
+The JMM machine is a transition system like any other, so the
+mu-calculus checker can verify the chapter-17 ordering constraints
+*as temporal properties of the machine* — a cross-toolchain integration
+the paper's setup (memory model as transition rules + model checker)
+invites.
+"""
+
+import pytest
+
+from repro.jmm.machine import JMMMachine
+from repro.jmm.program import assign, lock, make_program, unlock, use
+from repro.lts.explore import explore
+from repro.mucalc.checker import holds
+from repro.mucalc.patterns import exclusion, never
+from repro.mucalc.syntax import (
+    ActLit,
+    Box,
+    Ff,
+    NotAct,
+    OrAct,
+    RAct,
+    RSeq,
+    RStar,
+)
+
+
+@pytest.fixture(scope="module")
+def mp_lts():
+    prog = make_program(
+        threads=[
+            [assign("x", 1), lock(), unlock()],
+            [use("x", "r1")],
+        ],
+        shared={"x": 0},
+    )
+    return explore(JMMMachine(prog))
+
+
+def _prefix(p: str):
+    return ActLit(p, prefix=True)
+
+
+def test_use_requires_prior_load_or_assign(mp_lts):
+    # thread 1 never assigns x, so its first use must follow a load:
+    # [ (not load(t1,x))* . use(t1,...) ] F
+    f = Box(
+        RSeq(
+            RStar(RAct(NotAct(_prefix("load(t1")))),
+            RAct(_prefix("use(t1")),
+        ),
+        Ff(),
+    )
+    assert holds(mp_lts, f)
+
+
+def test_store_requires_prior_assign(mp_lts):
+    f = Box(
+        RSeq(
+            RStar(RAct(NotAct(_prefix("assign(t0")))),
+            RAct(_prefix("store(t0")),
+        ),
+        Ff(),
+    )
+    assert holds(mp_lts, f)
+
+
+def test_write_requires_prior_store(mp_lts):
+    f = Box(
+        RSeq(
+            RStar(RAct(NotAct(_prefix("store(t0")))),
+            RAct(_prefix("write(t0")),
+        ),
+        Ff(),
+    )
+    assert holds(mp_lts, f)
+
+
+def test_load_requires_prior_read(mp_lts):
+    f = Box(
+        RSeq(
+            RStar(RAct(NotAct(_prefix("read(t1")))),
+            RAct(_prefix("load(t1")),
+        ),
+        Ff(),
+    )
+    assert holds(mp_lts, f)
+
+
+def test_unlock_never_with_dirty_data(mp_lts):
+    # between assign(t0,...) and the matching write(t0,...), no
+    # unlock(t0) may occur (the flush-before-unlock rule)
+    f = exclusion(_prefix("assign(t0"), _prefix("write(t0"), _prefix("unlock(t0"))
+    assert holds(mp_lts, f)
+
+
+def test_lock_mutual_exclusion(mp_lts):
+    # no second lock before the first unlock (single global lock)
+    locks = OrAct(_prefix("lock(t0"), _prefix("lock(t1"))
+    unlocks = OrAct(_prefix("unlock(t0"), _prefix("unlock(t1"))
+    f = exclusion(locks, unlocks, locks)
+    assert holds(mp_lts, f)
+
+
+def test_no_spurious_actions(mp_lts):
+    # thread 1 has no lock statements: it never locks
+    assert holds(mp_lts, never(_prefix("lock(t1")))
+    # nobody ever stores x for thread 1 (it never assigns)
+    assert holds(mp_lts, never(_prefix("store(t1")))
+
+
+def test_read_not_after_own_pending_write(mp_lts):
+    # between store(t0,x) and write(t0,x), no read(t0,x): the pairing
+    # rule implemented in the machine
+    f = exclusion(_prefix("store(t0"), _prefix("write(t0"), _prefix("read(t0"))
+    assert holds(mp_lts, f)

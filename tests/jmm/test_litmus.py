@@ -1,0 +1,97 @@
+"""Conformance of the DSM runtime against the JMM, per litmus test."""
+
+import pytest
+
+from repro.jmm.litmus import LITMUS_TESTS, run_conformance
+from repro.jmm.machine import allowed_outcomes
+
+TESTS = LITMUS_TESTS()
+
+
+@pytest.mark.parametrize("test", TESTS, ids=lambda t: t.name)
+def test_dsm_conforms_to_jmm(test):
+    res = run_conformance(test)
+    assert res.conforms, res.summary()
+
+
+@pytest.mark.parametrize("test", TESTS, ids=lambda t: t.name)
+def test_anchor_outcomes(test):
+    jmm = allowed_outcomes(test.program)
+    missing = test.must_allow - jmm
+    assert not missing, f"JMM should allow {missing}"
+    forbidden = test.must_forbid & jmm
+    assert not forbidden, f"JMM should forbid {forbidden}"
+
+
+def test_store_buffering_relaxed_outcome():
+    (sb,) = [t for t in TESTS if t.name == "store_buffering"]
+    res = run_conformance(sb)
+    assert (0, 0) in res.jmm_outcomes
+    assert (0, 0) in res.dsm_outcomes  # the DSM is weaker than SC too
+
+
+def test_sync_forbids_stale_message_passing():
+    (mp,) = [t for t in TESTS if t.name == "message_passing_sync"]
+    res = run_conformance(mp)
+    assert (1, 0) not in res.jmm_outcomes
+    assert (1, 0) not in res.dsm_outcomes
+
+
+def test_dekker_sync_outcomes_exact():
+    (dk,) = [t for t in TESTS if t.name == "dekker_sync"]
+    res = run_conformance(dk)
+    assert res.jmm_outcomes == {(1, 0), (0, 1)}
+    assert res.dsm_outcomes == {(1, 0), (0, 1)}
+
+
+def test_false_sharing_merges():
+    (fs,) = [t for t in TESTS if t.name == "false_sharing"]
+    res = run_conformance(fs)
+    assert (1, 1) in res.dsm_outcomes
+
+
+def test_summary_format():
+    res = run_conformance(TESTS[0])
+    assert "conforms" in res.summary()
+    assert res.extra == set()
+
+
+@pytest.mark.parametrize("placement", [(0, 1), (1, 0), (0, 0), (1, 2)])
+def test_sb_conformance_across_placements(placement):
+    """Conformance must hold wherever the threads are placed — at the
+    home, remote, or co-located on one processor."""
+    from repro.jmm.dsm import dsm_outcomes
+    from repro.jmm.litmus import store_buffering
+
+    test = store_buffering()
+    jmm = allowed_outcomes(test.program)
+    dsm = dsm_outcomes(test.program, placement=placement)
+    assert dsm <= jmm, placement
+
+
+@pytest.mark.parametrize("home", [0, 1, 2])
+def test_mp_conformance_across_homes(home):
+    from repro.jmm.dsm import dsm_outcomes
+    from repro.jmm.litmus import message_passing
+
+    test = message_passing()
+    jmm = allowed_outcomes(test.program)
+    dsm = dsm_outcomes(test.program, placement=(1, 2), home=home)
+    assert dsm <= jmm, home
+
+
+def test_colocated_threads_see_each_other_early():
+    """Two threads on one processor share the cached copy: the writer's
+    unflushed store is visible to its neighbour — and that is JMM-legal
+    (an eager store/write/read/load chain)."""
+    from repro.jmm.dsm import dsm_outcomes
+    from repro.jmm.program import assign, make_program, use
+
+    prog = make_program(
+        threads=[[assign("x", 1)], [use("x", "r1")]],
+        shared={"x": 0},
+    )
+    dsm = dsm_outcomes(prog, placement=(1, 1), home=0)
+    jmm = allowed_outcomes(prog)
+    assert (1,) in dsm
+    assert dsm <= jmm

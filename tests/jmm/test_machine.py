@@ -1,0 +1,129 @@
+"""Tests for the abstract JMM machine."""
+
+from repro.jmm.machine import JMMMachine, allowed_outcomes
+from repro.jmm.program import assign, compute, lock, make_program, unlock, use
+
+
+def single_reader():
+    return make_program(
+        threads=[[use("x", "r1")]],
+        shared={"x": 7},
+    )
+
+
+def test_use_requires_load():
+    prog = single_reader()
+    m = JMMMachine(prog)
+    s0 = m.initial_state()
+    labels = {l for l, _ in m.successors(s0)}
+    # the bare use is not enabled yet; a read of main memory is
+    assert all(not l.startswith("use") for l in labels)
+    assert any(l.startswith("read") for l in labels)
+
+
+def test_single_reader_sees_initial_value():
+    assert allowed_outcomes(single_reader()) == {(7,)}
+
+
+def test_assign_then_use_is_local():
+    prog = make_program(
+        threads=[[assign("x", 1), use("x", "r1")]],
+        shared={"x": 0},
+    )
+    # working copy is defined by the assign; only 1 can be used
+    assert allowed_outcomes(prog) == {(1,)}
+
+
+def test_two_threads_stale_reads_allowed():
+    prog = make_program(
+        threads=[[assign("x", 1)], [use("x", "r1")]],
+        shared={"x": 0},
+    )
+    assert allowed_outcomes(prog) == {(0,), (1,)}
+
+
+def test_store_write_ordering_per_variable():
+    # a thread's own later read can still see the old main-memory value
+    # only until its write lands; after lock-flush it must see the new one
+    prog = make_program(
+        threads=[[assign("x", 1), lock(), unlock(), use("x", "r1")]],
+        shared={"x": 0},
+    )
+    assert allowed_outcomes(prog) == {(1,)}
+
+
+def test_lock_provides_mutual_exclusion():
+    bump = lambda r: r + 1  # noqa: E731
+    prog = make_program(
+        threads=[
+            [lock(), use("x", "r1"), assign("x", bump, "r1"), unlock()],
+            [lock(), use("x", "r2"), assign("x", bump, "r2"), unlock()],
+        ],
+        shared={"x": 0},
+    )
+    outs = allowed_outcomes(prog)
+    # increments cannot be lost under full locking
+    assert outs == {(0, 1), (1, 0)}
+
+
+def test_unlocked_increments_can_be_lost():
+    bump = lambda r: r + 1  # noqa: E731
+    prog = make_program(
+        threads=[
+            [use("x", "r1"), assign("x", bump, "r1")],
+            [use("x", "r2"), assign("x", bump, "r2")],
+        ],
+        shared={"x": 0},
+    )
+    outs = allowed_outcomes(prog)
+    assert (0, 0) in outs  # both read 0, one increment lost
+
+
+def test_compute_statement():
+    double = lambda r: 2 * r  # noqa: E731
+    prog = make_program(
+        threads=[[use("x", "r1"), compute("r2", double, "r1")]],
+        shared={"x": 3},
+    )
+    assert allowed_outcomes(prog) == {(3, 6)}
+
+
+def test_is_final_and_outcome():
+    prog = single_reader()
+    m = JMMMachine(prog)
+    s = m.initial_state()
+    assert not m.is_final(s)
+    # drive to completion: read, load, use
+    for prefix in ("read", "load", "use"):
+        (s,) = [d for l, d in m.successors(s) if l.startswith(prefix)][:1]
+    assert m.is_final(s)
+    assert m.outcome(s) == (7,)
+
+
+def test_lock_empties_working_memory():
+    # after lock, a use must re-load: it cannot see a pre-lock load
+    prog = make_program(
+        threads=[
+            [use("x", "r1"), lock(), use("x", "r2"), unlock()],
+            [assign("x", 1), lock(), unlock()],
+        ],
+        shared={"x": 0},
+    )
+    outs = allowed_outcomes(prog)
+    # r1 stale + r2 fresh is possible; but if the writer's unlock
+    # happened before the reader's lock, r2 must be 1 — both (0,0) and
+    # (0,1) and (1,1) show up, never r2 older than r1's view after sync
+    assert (0, 1) in outs
+    assert (0, 0) in outs
+
+
+def test_future_use_pruning_preserves_outcomes():
+    # compare against a machine without pruning (monkeypatched masks)
+    prog = make_program(
+        threads=[[assign("x", 1)], [use("y", "r1")]],
+        shared={"x": 0, "y": 5},
+    )
+    m = JMMMachine(prog)
+    assert allowed_outcomes(prog) == {(5,)}
+    # thread 0 never uses anything: its masks are all zero
+    assert all(mask == 0 for mask in m.future_uses[0])

@@ -1,0 +1,75 @@
+"""Tests for litmus program construction."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.jmm.program import (
+    Program,
+    ThreadProgram,
+    assign,
+    compute,
+    lock,
+    make_program,
+    unlock,
+    use,
+)
+
+
+def test_statement_constructors():
+    s = assign("x", 1)
+    assert s.kind == "assign" and s.value == 1
+    s2 = assign("x", lambda r: r + 1, "r1")
+    assert s2.fn is not None and s2.srcs == ("r1",)
+    assert use("x", "r1").kind == "use"
+    assert lock().kind == "lock"
+    assert unlock().kind == "unlock"
+
+
+def test_constant_assign_rejects_sources():
+    with pytest.raises(ModelError):
+        assign("x", 1, "r1")
+
+
+def test_statement_str():
+    assert str(assign("x", 1)) == "x := 1"
+    assert str(use("x", "r1")) == "r1 := x"
+    assert str(lock()) == "lock"
+
+    def inc(a):
+        return a + 1
+
+    assert str(compute("r2", inc, "r1")) == "r2 := inc(r1)"
+    assert str(assign("x", inc, "r1")) == "x := inc(r1)"
+
+
+def test_make_program_autodetects_registers():
+    p = make_program(
+        threads=[[use("x", "r1")], [use("x", "r2"), use("x", "r1")]],
+        shared={"x": 0},
+    )
+    assert p.registers == ("r1", "r2")
+    assert p.n_threads == 2
+    assert p.shared_names() == ("x",)
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(ModelError, match="unknown shared variable"):
+        make_program(threads=[[assign("y", 1)]], shared={"x": 0})
+
+
+def test_unbalanced_locks_rejected():
+    with pytest.raises(ModelError, match="unbalanced"):
+        make_program(threads=[[lock()]], shared={"x": 0})
+    with pytest.raises(ModelError, match="unlock without lock"):
+        make_program(threads=[[unlock(), lock()]], shared={"x": 0})
+
+
+def test_thread_program_len():
+    assert len(ThreadProgram((lock(), unlock()))) == 2
+
+
+def test_explicit_registers():
+    p = make_program(
+        threads=[[use("x", "r1")]], shared={"x": 0}, registers=["r1", "rz"]
+    )
+    assert p.registers == ("r1", "rz")

@@ -1,0 +1,57 @@
+"""Tests for bitstate (supertrace) exploration."""
+
+from repro.lts.bitstate import bitstate_explore
+from repro.lts.explore import explore
+from tests.conftest import ChainSystem
+
+
+class Counter:
+    """A linear system of n states."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def initial_state(self):
+        return 0
+
+    def successors(self, s):
+        return [("inc", s + 1)] if s + 1 < self.n else []
+
+
+def test_bitstate_exact_when_table_large():
+    res = bitstate_explore(Counter(500), table_bytes=1 << 16)
+    assert res.visited == 500
+    assert res.transitions == 499
+    assert res.deadlocks == 1
+    assert 0 < res.fill_ratio < 0.01
+    assert res.hash_functions == 3
+
+
+def test_bitstate_matches_exact_exploration(chain_system):
+    exact = explore(chain_system)
+    res = bitstate_explore(chain_system)
+    assert res.visited == exact.n_states
+    assert res.transitions == exact.n_transitions
+
+
+def test_bitstate_max_states_cap():
+    res = bitstate_explore(Counter(1000), max_states=50)
+    assert res.visited == 50
+
+
+def test_bitstate_tiny_table_may_underreport():
+    # 4 bytes = 32 bits for 500 states: collisions must prune heavily
+    res = bitstate_explore(Counter(500), table_bytes=4, hash_functions=2)
+    assert res.visited < 500
+    assert res.fill_ratio > 0.1  # a 32-bit table saturates immediately
+
+
+def test_bitstate_on_state_callback(chain_system):
+    seen = []
+    bitstate_explore(chain_system, on_state=seen.append)
+    assert len(seen) == 4
+
+
+def test_bitstate_counts_deadlocks(chain_system):
+    res = bitstate_explore(chain_system)
+    assert res.deadlocks == 1

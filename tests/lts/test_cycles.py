@@ -1,0 +1,93 @@
+"""Tests for lasso/livelock detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.jackal import CONFIG_2, JackalModel, ProtocolVariant
+from repro.lts.cycles import Lasso, find_lasso_avoiding
+from repro.lts.explore import explore
+from repro.lts.lts import LTS
+from repro.lts.trace import Trace
+
+
+def looped() -> LTS:
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "spin", 2)
+    l.add_transition(2, "spin", 1)
+    l.add_transition(1, "done", 3)
+    return l
+
+
+def test_finds_simple_lasso():
+    lasso = find_lasso_avoiding(looped(), ["done"])
+    assert lasso is not None
+    assert lasso.prefix.labels == ("a",)
+    assert set(lasso.cycle.labels) == {"spin"}
+    assert len(lasso) == 3
+
+
+def test_progress_on_cycle_means_no_lasso():
+    lasso = find_lasso_avoiding(looped(), ["spin"])
+    assert lasso is None
+
+
+def test_predicate_form():
+    lasso = find_lasso_avoiding(looped(), lambda l: l.startswith("done"))
+    assert lasso is not None
+
+
+def test_self_loop_detected():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "idle", 1)
+    lasso = find_lasso_avoiding(l, ["a"])
+    assert lasso.cycle.labels == ("idle",)
+
+
+def test_ignored_self_loops():
+    l = LTS(0)
+    l.add_transition(0, "probe", 0)
+    l.add_transition(0, "a", 1)
+    assert find_lasso_avoiding(l, ["a"], ignore_self_loops_of=["probe"]) is None
+
+
+def test_acyclic_graph():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "b", 2)
+    assert find_lasso_avoiding(l, []) is None
+
+
+def test_lasso_format():
+    lasso = Lasso(Trace(("a",)), Trace(("x", "y")))
+    txt = lasso.format()
+    assert "-- cycle --" in txt
+    assert "x" in txt
+
+
+def test_error2_flush_storm_is_a_lasso():
+    """The lost home makes flushes bounce forever: a concrete lasso."""
+    cfg = dataclasses.replace(CONFIG_2, rounds=1, with_probes=False)
+    lts = explore(JackalModel(cfg, ProtocolVariant.error2()))
+    progress = [
+        l for l in lts.labels
+        if l.startswith(("writeover", "flushover"))
+    ]
+    lasso = find_lasso_avoiding(lts, progress)
+    assert lasso is not None
+    # the cycle is message forwarding between the two processors
+    assert all(
+        lab.startswith(("forward_", "lock_homequeue")) for lab in lasso.cycle.labels
+    ), lasso.cycle.labels
+
+
+def test_fixed_protocol_has_no_unproductive_cycle():
+    cfg = dataclasses.replace(CONFIG_2, rounds=1, with_probes=False)
+    lts = explore(JackalModel(cfg, ProtocolVariant.fixed()))
+    progress = [
+        l for l in lts.labels
+        if l.startswith(("writeover", "flushover"))
+    ]
+    assert find_lasso_avoiding(lts, progress) is None

@@ -1,0 +1,70 @@
+"""Tests for deadlock detection and shortest traces."""
+
+from repro.lts.deadlock import find_deadlocks, shortest_trace_to
+from repro.lts.explore import explore
+from repro.lts.lts import LTS
+
+
+def test_no_deadlock_in_cycle():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "b", 0)
+    rep = find_deadlocks(l)
+    assert rep.deadlock_free
+    assert rep.summary().startswith("deadlock free")
+
+
+def test_simple_deadlock(small_lts):
+    rep = find_deadlocks(small_lts)
+    assert not rep.deadlock_free
+    assert rep.deadlocks == [3]
+    assert rep.shortest_trace.labels == ("a", "d")
+    assert "2 transitions" in rep.summary()
+
+
+def test_probe_labels_do_not_mask():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "probe", 1)
+    rep = find_deadlocks(l, ignore_labels=["probe"])
+    assert rep.deadlocks == [1]
+
+
+def test_valid_end_predicate(chain_system):
+    l = explore(chain_system, keep_states=True)
+    # state 3 is terminal; accept it as proper termination
+    rep = find_deadlocks(l, is_valid_end=lambda meta: meta == 3)
+    assert rep.deadlock_free
+    assert len(rep.terminal_ok) == 1
+
+
+def test_valid_end_without_meta_is_conservative(small_lts):
+    # no metadata stored: terminal states count as deadlocks
+    rep = find_deadlocks(small_lts, is_valid_end=lambda meta: True)
+    assert not rep.deadlock_free
+
+
+def test_shortest_trace_to():
+    l = LTS(0)
+    l.add_transition(0, "long1", 1)
+    l.add_transition(1, "long2", 2)
+    l.add_transition(0, "short", 2)
+    t = shortest_trace_to(l, [2])
+    assert t.labels == ("short",)
+
+
+def test_shortest_trace_to_initial(small_lts):
+    assert shortest_trace_to(small_lts, [0]).labels == ()
+
+
+def test_shortest_trace_unreachable():
+    l = LTS(0)
+    l.ensure_states(3)
+    l.add_transition(0, "a", 1)
+    assert shortest_trace_to(l, [2]) is None
+    assert shortest_trace_to(l, []) is None
+
+
+def test_shortest_trace_is_shortest(small_lts):
+    # to state 3: a.d is the only path, length 2
+    assert len(shortest_trace_to(small_lts, [3])) == 2

@@ -1,0 +1,91 @@
+"""Tests for partitioned (distributed) state-space generation."""
+
+import pytest
+
+from repro.errors import ExplorationLimitError
+from repro.lts.distributed import distributed_explore
+from repro.lts.explore import explore
+from repro.lts.reduction import minimize_strong
+
+
+class Diamond:
+    """A diamond lattice of given width — branches recombine."""
+
+    def __init__(self, width=5):
+        self.width = width
+
+    def initial_state(self):
+        return (0, 0)
+
+    def successors(self, s):
+        level, pos = s
+        if level >= self.width:
+            return []
+        return [("l", (level + 1, pos)), ("r", (level + 1, pos + 1))]
+
+
+def test_inline_counts_match_serial():
+    sys = Diamond(6)
+    exact = explore(sys)
+    _lts, stats = distributed_explore(sys, n_workers=3, backend="inline")
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+    assert sum(stats.per_worker_states) == stats.states
+    assert stats.levels >= 6
+
+
+def test_inline_collect_builds_equivalent_lts():
+    sys = Diamond(5)
+    exact = explore(sys)
+    lts, _stats = distributed_explore(
+        sys, n_workers=4, backend="inline", collect=True
+    )
+    # BFS renumbering may differ; compare modulo strong bisimulation
+    assert lts.n_states == exact.n_states
+    assert lts.n_transitions == exact.n_transitions
+    assert minimize_strong(lts) == minimize_strong(exact)
+
+
+def test_single_worker_inline(chain_system):
+    lts, stats = distributed_explore(
+        chain_system, n_workers=1, backend="inline", collect=True
+    )
+    assert stats.states == 4
+    assert stats.imbalance() == 1.0
+
+
+def test_inline_max_states():
+    with pytest.raises(ExplorationLimitError):
+        distributed_explore(
+            Diamond(60), n_workers=2, backend="inline", max_states=100
+        )
+
+
+def test_bad_arguments(chain_system):
+    with pytest.raises(ValueError):
+        distributed_explore(chain_system, n_workers=0)
+    with pytest.raises(ValueError):
+        distributed_explore(chain_system, backend="carrier-pigeon")
+
+
+@pytest.mark.slow
+def test_process_backend_matches_serial():
+    sys = Diamond(7)
+    exact = explore(sys)
+    lts, stats = distributed_explore(
+        sys, n_workers=2, backend="process", collect=True
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert lts.n_states == exact.n_states
+
+
+def test_imbalance_metric():
+    from repro.lts.distributed import DistributedStats
+
+    s = DistributedStats(states=100, per_worker_states=[50, 50])
+    assert s.imbalance() == 1.0
+    s2 = DistributedStats(states=100, per_worker_states=[75, 25])
+    assert s2.imbalance() == 1.5
+    assert DistributedStats().imbalance() == 1.0

@@ -1,0 +1,61 @@
+"""Tests for DOT export."""
+
+import io
+
+import pytest
+
+from repro.lts.dot import write_dot
+from repro.lts.lts import LTS, TAU
+
+
+def test_basic_structure(small_lts):
+    text = write_dot(small_lts)
+    assert text.startswith("digraph lts {")
+    assert "init -> s0;" in text
+    assert 's0 -> s1 [label="a"];' in text
+    assert text.rstrip().endswith("}")
+
+
+def test_terminal_states_doubled(small_lts):
+    text = write_dot(small_lts)
+    assert "doublecircle" in text  # state 3 is terminal
+
+
+def test_tau_styled():
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    text = write_dot(l)
+    assert "style=dashed" in text
+
+
+def test_highlight_and_labels(small_lts):
+    text = write_dot(
+        small_lts,
+        highlight={3},
+        state_label=lambda s: f"q{s}",
+    )
+    assert 'label="q3"' in text
+    assert "fillcolor" in text
+
+
+def test_quoting():
+    l = LTS(0)
+    l.add_transition(0, 'say "hi"', 1)
+    text = write_dot(l)
+    assert '\\"hi\\"' in text
+
+
+def test_write_to_file(tmp_path, small_lts):
+    p = tmp_path / "g.dot"
+    write_dot(small_lts, p)
+    assert p.read_text().startswith("digraph")
+    buf = io.StringIO()
+    write_dot(small_lts, buf)
+    assert buf.getvalue().startswith("digraph")
+
+
+def test_size_guard():
+    l = LTS(0)
+    l.ensure_states(10)
+    with pytest.raises(ValueError, match="guard"):
+        write_dot(l, max_states=5)

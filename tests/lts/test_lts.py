@@ -1,0 +1,129 @@
+"""Unit tests for the LTS container."""
+
+import pytest
+from hypothesis import given
+
+from repro.lts.lts import LTS, TAU, Transition
+from tests.conftest import random_lts
+
+
+def test_empty_lts():
+    l = LTS(0)
+    assert l.n_states == 0
+    assert l.n_transitions == 0
+    assert l.labels == []
+
+
+def test_add_transition_grows_states():
+    l = LTS(0)
+    l.add_transition(0, "a", 5)
+    assert l.n_states == 6
+    assert l.n_transitions == 1
+
+
+def test_labels_are_interned():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "a", 0)
+    l.add_transition(0, "b", 1)
+    assert l.labels == ["a", "b"]
+    assert l.label_id("a") == 0
+    assert l.has_label("a") and not l.has_label("z")
+
+
+def test_successors_and_predecessors(small_lts):
+    assert sorted(small_lts.successors(1)) == [("b", 2), ("d", 3)]
+    assert small_lts.predecessors(1) == [("a", 0)]
+    assert small_lts.out_degree(3) == 0
+    assert small_lts.enabled_labels(0) == {"a"}
+
+
+def test_transitions_iteration(small_lts):
+    ts = list(small_lts.transitions())
+    assert ts[0] == Transition(0, "a", 1)
+    assert len(ts) == 4
+
+
+def test_deadlock_states(small_lts):
+    assert small_lts.deadlock_states() == [3]
+
+
+def test_deadlock_states_ignore_labels():
+    l = LTS(0)
+    l.add_transition(0, "probe", 0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "probe", 1)
+    assert l.deadlock_states() == []
+    assert l.deadlock_states(ignore_labels=["probe"]) == [1]
+
+
+def test_label_counts(small_lts):
+    counts = small_lts.label_counts()
+    assert counts == {"a": 1, "b": 1, "c": 1, "d": 1}
+
+
+def test_relabelled(small_lts):
+    r = small_lts.relabelled({"a": "x"})
+    assert r.has_label("x") and not r.has_label("a")
+    assert r.n_transitions == small_lts.n_transitions
+
+
+def test_hidden(small_lts):
+    h = small_lts.hidden(["a", "b"])
+    assert h.label_counts()[TAU] == 2
+
+
+def test_restricted_to_reachable():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(5, "b", 6)  # unreachable island
+    r = l.restricted_to_reachable()
+    assert r.n_states == 2
+    assert r.n_transitions == 1
+
+
+def test_restricted_keeps_meta():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.ensure_states(4)
+    l.state_meta[1] = "one"
+    l.state_meta[3] = "unreachable"
+    r = l.restricted_to_reachable()
+    assert r.state_meta == {1: "one"}
+
+
+def test_structural_equality(small_lts):
+    other = LTS(0)
+    for t in small_lts.transitions():
+        other.add_transition(t.src, t.label, t.dst)
+    assert other == small_lts
+    other.add_transition(3, "e", 0)
+    assert other != small_lts
+
+
+def test_equality_other_type(small_lts):
+    assert small_lts != 42
+
+
+@given(random_lts())
+def test_reachable_restriction_is_idempotent(l):
+    once = l.restricted_to_reachable()
+    twice = once.restricted_to_reachable()
+    assert once == twice
+
+
+@given(random_lts())
+def test_transition_arrays_consistent(l):
+    src, lbl, dst = l.transition_arrays()
+    assert len(src) == len(lbl) == len(dst) == l.n_transitions
+    for s, i, d in zip(src, lbl, dst):
+        assert 0 <= s < l.n_states
+        assert 0 <= d < l.n_states
+        assert 0 <= i < len(l.labels)
+
+
+@given(random_lts())
+def test_successor_predecessor_duality(l):
+    fwd = {(s, lab, d) for s in range(l.n_states) for lab, d in l.successors(s)}
+    bwd = {(s, lab, d) for d in range(l.n_states) for lab, s in l.predecessors(d)}
+    assert fwd == bwd

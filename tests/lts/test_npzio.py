@@ -1,0 +1,62 @@
+"""Tests for binary LTS storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import AutFormatError
+from repro.lts.npzio import load_npz, save_npz
+from tests.conftest import random_lts
+
+
+def test_roundtrip(tmp_path, small_lts):
+    p = tmp_path / "l.npz"
+    save_npz(small_lts, p)
+    back = load_npz(p)
+    assert back == small_lts
+    assert back.labels == small_lts.labels
+
+
+def test_roundtrip_empty(tmp_path):
+    from repro.lts.lts import LTS
+
+    l = LTS(0)
+    l.ensure_states(3)
+    p = tmp_path / "e.npz"
+    save_npz(l, p)
+    back = load_npz(p)
+    assert back.n_states == 3
+    assert back.n_transitions == 0
+
+
+def test_version_check(tmp_path, small_lts):
+    p = tmp_path / "v.npz"
+    save_npz(small_lts, p)
+    data = dict(np.load(p, allow_pickle=True))
+    data["version"] = np.int64(99)
+    np.savez_compressed(p, **data)
+    with pytest.raises(AutFormatError, match="version"):
+        load_npz(p)
+
+
+def test_protocol_lts_roundtrip(tmp_path):
+    from repro.jackal import CONFIG_1, JackalModel, ProtocolVariant
+    from repro.lts.explore import explore
+    from repro.mucalc.checker import holds
+    from repro.mucalc.parser import parse_formula
+
+    lts = explore(JackalModel(CONFIG_1, ProtocolVariant.fixed()))
+    p = tmp_path / "c1.npz"
+    save_npz(lts, p)
+    back = load_npz(p)
+    assert back == lts
+    f = parse_formula("[T*.c_home] F")
+    assert holds(back, f) == holds(lts, f)
+
+
+@given(random_lts())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_random(tmp_path_factory, l):
+    p = tmp_path_factory.mktemp("npz") / "r.npz"
+    save_npz(l, p)
+    assert load_npz(p) == l

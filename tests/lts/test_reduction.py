@@ -1,0 +1,152 @@
+"""Tests for bisimulation reductions."""
+
+from hypothesis import given
+
+from repro.lts.lts import LTS, TAU
+from repro.lts.reduction import (
+    branching_bisimulation_classes,
+    compress_tau_cycles,
+    minimize_branching,
+    minimize_strong,
+    strong_bisimulation_classes,
+)
+from tests.conftest import random_lts
+
+
+def two_copies_of_chain() -> LTS:
+    """Two identical a.b chains from a choice state — collapsible."""
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(0, "a", 2)
+    l.add_transition(1, "b", 3)
+    l.add_transition(2, "b", 4)
+    return l
+
+
+def test_strong_merges_identical_branches():
+    m = minimize_strong(two_copies_of_chain())
+    assert m.n_states == 3  # {0}, {1,2}, {3,4}
+    assert m.n_transitions == 2
+
+
+def test_strong_distinguishes_labels():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(0, "b", 2)
+    m = minimize_strong(l)
+    assert m.n_states == 2  # 1 and 2 merge (both terminal), 0 stays
+    assert m.n_transitions == 2
+
+
+def test_strong_classes_respect_moves():
+    l = two_copies_of_chain()
+    cls = strong_bisimulation_classes(l)
+    assert cls[1] == cls[2]
+    assert cls[3] == cls[4]
+    assert cls[0] != cls[1]
+
+
+def test_strong_preserves_initial():
+    l = two_copies_of_chain()
+    m = minimize_strong(l)
+    assert m.initial == 0 or ("a", 1) in [
+        (lab, d) for lab, d in m.successors(m.initial)
+    ] or m.out_degree(m.initial) == 1
+
+
+def test_branching_collapses_inert_tau(tau_lts):
+    m = minimize_branching(tau_lts)
+    assert m.n_states == 2
+    assert m.n_transitions == 1
+    assert m.labels == ["a"]
+
+
+def test_branching_keeps_observable_tau():
+    # 0 -tau-> 1 where 1 loses the 'b' option: tau is NOT inert
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    l.add_transition(0, "b", 2)
+    l.add_transition(1, "a", 2)
+    m = minimize_branching(l)
+    assert m.n_states == 3  # the tau must remain observable
+
+
+def test_compress_tau_cycles():
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    l.add_transition(1, TAU, 0)
+    l.add_transition(1, "a", 2)
+    c, comp = compress_tau_cycles(l)
+    assert comp[0] == comp[1]
+    assert c.n_states == 2
+    assert c.label_counts().get(TAU, 0) == 0
+
+
+def test_compress_preserves_non_tau_structure():
+    l = LTS(0)
+    l.add_transition(0, "a", 1)
+    l.add_transition(1, "b", 0)
+    c, _comp = compress_tau_cycles(l)
+    assert c == l
+
+
+def test_branching_on_tau_cycle_with_exit():
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    l.add_transition(1, TAU, 0)
+    l.add_transition(0, "a", 2)
+    l.add_transition(1, "a", 2)
+    m = minimize_branching(l)
+    assert m.n_states == 2
+    assert m.n_transitions == 1
+
+
+@given(random_lts())
+def test_strong_minimization_idempotent(l):
+    m1 = minimize_strong(l.restricted_to_reachable())
+    m2 = minimize_strong(m1)
+    assert m1.n_states == m2.n_states
+    assert m1.n_transitions == m2.n_transitions
+
+
+@given(random_lts())
+def test_strong_never_grows(l):
+    r = l.restricted_to_reachable()
+    m = minimize_strong(r)
+    assert m.n_states <= r.n_states
+    assert m.n_transitions <= r.n_transitions
+
+
+@given(random_lts())
+def test_branching_not_larger_than_strong(l):
+    r = l.restricted_to_reachable()
+    assert minimize_branching(r).n_states <= minimize_strong(r).n_states
+
+
+@given(random_lts())
+def test_strong_preserves_enabled_labels_at_initial(l):
+    r = l.restricted_to_reachable()
+    m = minimize_strong(r)
+    assert m.enabled_labels(m.initial) == r.enabled_labels(r.initial)
+
+
+@given(random_lts())
+def test_classes_form_partition(l):
+    cls = strong_bisimulation_classes(l)
+    assert len(cls) == l.n_states
+    if cls:
+        assert set(cls) == set(range(max(cls) + 1))
+
+
+@given(random_lts())
+def test_branching_classes_refinement_of_tau_free_strong(l):
+    # On tau-free LTSs branching and strong coincide
+    if TAU in l.labels:
+        return
+    strong = strong_bisimulation_classes(l)
+    branching = branching_bisimulation_classes(l)
+    pairs_s = {(i, j) for i in range(l.n_states) for j in range(l.n_states)
+               if strong[i] == strong[j]}
+    pairs_b = {(i, j) for i in range(l.n_states) for j in range(l.n_states)
+               if branching[i] == branching[j]}
+    assert pairs_s == pairs_b

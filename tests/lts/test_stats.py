@@ -1,0 +1,43 @@
+"""Tests for LTS statistics."""
+
+from repro.lts.lts import LTS, TAU
+from repro.lts.stats import degree_histogram, lts_summary
+
+
+def test_summary(small_lts):
+    s = lts_summary(small_lts)
+    assert s.states == 4
+    assert s.transitions == 4
+    assert s.labels == 4
+    assert s.tau_transitions == 0
+    assert s.terminal_states == 1
+    assert s.avg_out_degree == 1.0
+    assert s.max_out_degree == 2
+
+
+def test_summary_tau():
+    l = LTS(0)
+    l.add_transition(0, TAU, 1)
+    l.add_transition(1, "a", 0)
+    s = lts_summary(l)
+    assert s.tau_transitions == 1
+    assert s.terminal_states == 0
+
+
+def test_summary_empty():
+    s = lts_summary(LTS(0))
+    assert s.states == 0
+    assert s.avg_out_degree == 0.0
+    assert s.max_out_degree == 0
+
+
+def test_as_row(small_lts):
+    row = lts_summary(small_lts).as_row()
+    assert row["states"] == 4
+    assert row["avg_deg"] == 1.0
+
+
+def test_degree_histogram(small_lts):
+    h = degree_histogram(small_lts)
+    assert h == {0: 1, 1: 2, 2: 1}
+    assert list(h) == sorted(h)

@@ -1,0 +1,99 @@
+"""Tests for on-the-fly (LTS-free) checking."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExplorationLimitError
+from repro.jackal import CONFIG_1, CONFIG_2, JackalModel, ProtocolVariant
+from repro.mucalc.onthefly import check_never, check_reachable, find_path
+from repro.mucalc.parser import parse_formula
+from repro.mucalc.syntax import ActLit, AnyAct, RAct, RSeq, RStar
+
+T_STAR = RStar(RAct(AnyAct()))
+
+
+def after(label: str):
+    return RSeq(T_STAR, RAct(ActLit(label)))
+
+
+class Chain:
+    def initial_state(self):
+        return 0
+
+    def successors(self, s):
+        if s < 3:
+            return [("step", s + 1)]
+        return [("goal", 4)] if s == 3 else []
+
+
+def test_find_path_simple():
+    t = find_path(Chain(), after("goal"))
+    assert t.labels == ("step", "step", "step", "goal")
+
+
+def test_find_path_with_state_goal():
+    t = find_path(Chain(), T_STAR, state_goal=lambda s: s == 2)
+    assert len(t) == 2
+
+
+def test_find_path_empty_match():
+    t = find_path(Chain(), T_STAR)
+    assert t.labels == ()
+
+
+def test_find_path_none():
+    assert find_path(Chain(), after("missing")) is None
+
+
+def test_max_states_limit():
+    class Infinite:
+        def initial_state(self):
+            return 0
+
+        def successors(self, s):
+            return [("tick", s + 1)]
+
+    with pytest.raises(ExplorationLimitError):
+        find_path(Infinite(), after("never"), max_states=100)
+
+
+def test_check_never_and_reachable():
+    holds, witness = check_never(Chain(), after("goal"))
+    assert not holds and witness is not None
+    holds, witness = check_never(Chain(), after("missing"))
+    assert holds and witness is None
+    ok, w = check_reachable(Chain(), after("goal"))
+    assert ok and w.labels[-1] == "goal"
+
+
+class TestOnProtocol:
+    def test_requirement_3_1_on_the_fly(self):
+        # [T*.c_home] F without building the LTS
+        model = JackalModel(CONFIG_1, ProtocolVariant.fixed())
+        holds, witness = check_never(model, after("c_home"))
+        assert holds and witness is None
+
+    def test_error1_found_early(self):
+        # the buggy path is reachable; on-the-fly search returns the
+        # shortest witness without a full exploration
+        cfg = dataclasses.replace(CONFIG_1, rounds=None)
+        model = JackalModel(cfg, ProtocolVariant.error1())
+        ok, witness = check_reachable(model, after("stale_remote_wait(t0)"))
+        assert ok
+        assert witness.labels[-1] == "stale_remote_wait(t0)"
+        # replayable on the model
+        from repro.lts.trace import replay
+
+        replay(model, witness.labels)
+
+    def test_agrees_with_offline_checker(self):
+        from repro.jackal.requirements import build_lts
+        from repro.mucalc.checker import holds as lts_holds
+
+        model, lts = build_lts(
+            CONFIG_2, ProtocolVariant.error2(), probes=True
+        )
+        f = parse_formula("<T*.c_copy> T")
+        on_the_fly, _w = check_reachable(model, after("c_copy"))
+        assert on_the_fly == lts_holds(lts, f)

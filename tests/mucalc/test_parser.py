@@ -1,0 +1,172 @@
+"""Tests for the formula parser."""
+
+import pytest
+
+from repro.errors import FormulaSyntaxError
+from repro.mucalc.parser import parse_formula
+from repro.mucalc.syntax import (
+    ActLit,
+    And,
+    AnyAct,
+    Box,
+    Diamond,
+    Ff,
+    Mu,
+    Not,
+    NotAct,
+    Nu,
+    Or,
+    RAct,
+    RAlt,
+    RSeq,
+    RStar,
+    Tt,
+    Var,
+)
+
+
+def test_truth_values():
+    assert parse_formula("T") == Tt()
+    assert parse_formula("F") == Ff()
+
+
+def test_variable():
+    assert parse_formula("X") == Var("X")
+
+
+def test_connectives():
+    f = parse_formula("T /\\ F \\/ T")
+    # /\ binds tighter than \/
+    assert f == Or(And(Tt(), Ff()), Tt())
+
+
+def test_parentheses():
+    f = parse_formula("T /\\ (F \\/ T)")
+    assert f == And(Tt(), Or(Ff(), Tt()))
+
+
+def test_negation():
+    assert parse_formula("~T") == Not(Tt())
+
+
+def test_box_any():
+    f = parse_formula("[T] F")
+    assert f == Box(RAct(AnyAct()), Ff())
+
+
+def test_paper_formula_3_1():
+    f = parse_formula("[T*.c_home] F")
+    assert f == Box(RSeq(RStar(RAct(AnyAct())), RAct(ActLit("c_home"))), Ff())
+
+
+def test_paper_formula_3_2():
+    f = parse_formula(
+        "<T*> (<c_copy>T /\\ <lock_empty>T /\\ <homequeue_empty>T"
+        " /\\ <remotequeue_empty>T)"
+    )
+    assert isinstance(f, Diamond)
+    assert isinstance(f.reg, RStar)
+    assert isinstance(f.inner, And)
+
+
+def test_paper_formula_4():
+    f = parse_formula("[T*.write(t0)] mu X. (<T>T /\\ [not writeover(t0)] X)")
+    assert isinstance(f, Box)
+    inner = f.inner
+    assert inner == Mu(
+        "X",
+        And(
+            Diamond(RAct(AnyAct()), Tt()),
+            Box(RAct(NotAct(ActLit("writeover(t0)"))), Var("X")),
+        ),
+    )
+
+
+def test_quoted_labels():
+    f = parse_formula('<"c_copy">T')
+    assert f == Diamond(RAct(ActLit("c_copy")), Tt())
+
+
+def test_quoted_prefix_label():
+    f = parse_formula('<"write(*">T')
+    assert f == Diamond(RAct(ActLit("write(", prefix=True)), Tt())
+
+
+def test_bare_prefix_label():
+    f = parse_formula("<write(*)>T")
+    assert f == Diamond(RAct(ActLit("write(", prefix=True)), Tt())
+
+
+def test_label_with_args():
+    f = parse_formula("<signal(t0,p1)>T")
+    assert f == Diamond(RAct(ActLit("signal(t0,p1)")), Tt())
+
+
+def test_regular_alternation_and_star():
+    f = parse_formula("[(a|b)*.c] F")
+    reg = f.reg
+    assert reg == RSeq(RStar(RAlt(RAct(ActLit("a")), RAct(ActLit("b")))),
+                       RAct(ActLit("c")))
+
+
+def test_double_star():
+    f = parse_formula("<a**>T")
+    assert f == Diamond(RStar(RStar(RAct(ActLit("a")))), Tt())
+
+
+def test_tilde_in_regular():
+    f = parse_formula("[~a] F")
+    assert f == Box(RAct(NotAct(ActLit("a"))), Ff())
+
+
+def test_nu():
+    f = parse_formula("nu X. [T] X")
+    assert f == Nu("X", Box(RAct(AnyAct()), Var("X")))
+
+
+def test_errors_have_positions():
+    with pytest.raises(FormulaSyntaxError) as ei:
+        parse_formula("[T*.a F")
+    assert ei.value.position is not None
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "mu . T",
+        "mu T. T",
+        "[a>T",
+        "<a]T",
+        "T /\\",
+        "T T",
+        "not T",
+        "[(a|b]F",
+        "~(a*)",  # negation of a regular expression (in formula pos: parses ~ then (..) is formula... adjust below
+    ],
+)
+def test_rejects_malformed(bad):
+    with pytest.raises(FormulaSyntaxError):
+        parse_formula(bad)
+
+
+def test_negation_of_regex_rejected():
+    with pytest.raises(FormulaSyntaxError, match="negation applies"):
+        parse_formula("[~(a.b)] F")
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(FormulaSyntaxError, match="trailing"):
+        parse_formula("T F")
+
+
+def test_roundtrip_via_str():
+    texts = [
+        "[T*.c_home]F",
+        "mu X.(<T>T /\\ [not writeover(t0)]X)",
+        "nu Y.([a]Y /\\ <b>T)",
+    ]
+    for t in texts:
+        f = parse_formula(t)
+        again = parse_formula(str(f))
+        assert again == f

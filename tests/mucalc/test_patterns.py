@@ -1,0 +1,105 @@
+"""Tests for the formula pattern library."""
+
+from repro.lts.lts import LTS
+from repro.mucalc.checker import holds
+from repro.mucalc.parser import parse_formula
+from repro.mucalc.patterns import (
+    always_possible,
+    eventually_reachable,
+    exclusion,
+    fair_responds,
+    inevitably,
+    never,
+    responds,
+)
+
+
+def protocolish() -> LTS:
+    """0 -req-> 1 -grant-> 2 -work-> 3 -release-> 0."""
+    l = LTS(0)
+    l.add_transition(0, "req", 1)
+    l.add_transition(1, "grant", 2)
+    l.add_transition(2, "work", 3)
+    l.add_transition(3, "release", 0)
+    return l
+
+
+def test_never():
+    l = protocolish()
+    assert holds(l, never("explode"))
+    assert not holds(l, never("work"))
+
+
+def test_never_matches_requirement_3_1_shape():
+    from repro.jackal.requirements import formula_3_1
+
+    assert never("c_home") == formula_3_1()
+
+
+def test_eventually_reachable():
+    l = protocolish()
+    assert holds(l, eventually_reachable("release"))
+    assert not holds(l, eventually_reachable("explode"))
+
+
+def test_inevitably_on_cycle_false():
+    # the loop never forces 'work' from state 0? it does: single path
+    l = protocolish()
+    assert holds(l, inevitably("work"))
+    # with an escape branch, inevitability fails
+    l.add_transition(0, "skip", 4)
+    assert not holds(l, inevitably("work"))
+
+
+def test_responds():
+    l = protocolish()
+    assert holds(l, responds("req", "grant"))
+    assert holds(l, responds("req", "release"))
+
+
+def test_responds_matches_requirement_4():
+    from repro.jackal.requirements import formula_4_write
+    from repro.jackal.actions import Labels
+
+    assert responds(Labels.write(0), Labels.writeover(0)) == formula_4_write(0)
+
+
+def test_fair_responds():
+    # add an unfair self-loop: exact responds fails, fair holds
+    l = protocolish()
+    l.add_transition(1, "stutter", 1)
+    assert not holds(l, responds("req", "grant"))
+    assert holds(l, fair_responds("req", "grant"))
+
+
+def test_fair_responds_matches_requirement_4_fair():
+    from repro.jackal.requirements import formula_4_write
+    from repro.jackal.actions import Labels
+
+    assert (
+        fair_responds(Labels.write(1), Labels.writeover(1))
+        == formula_4_write(1, fair=True)
+    )
+
+
+def test_exclusion():
+    l = protocolish()
+    # between grant and release, no second grant
+    assert holds(l, exclusion("grant", "release", "grant"))
+    # but 'work' does occur between grant and release
+    assert not holds(l, exclusion("grant", "release", "work"))
+
+
+def test_always_possible():
+    l = protocolish()
+    assert holds(l, always_possible("req"))
+    l.add_transition(2, "escape", 4)  # terminal state 4
+    assert not holds(l, always_possible("req"))
+
+
+def test_patterns_equal_parsed_text():
+    assert never("a") == parse_formula("[T*.a] F")
+    assert eventually_reachable("a") == parse_formula("<T*.a> T")
+    assert responds("a", "b") == parse_formula(
+        "[T*.a] mu X. (<T>T /\\ [not b] X)"
+    )

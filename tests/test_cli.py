@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_check_fixed_holds(capsys):
+    code = main(["check", "--config", "1", "--variant", "fixed"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "HOLDS" in out
+    assert "VIOLATED" not in out
+
+
+def test_check_single_requirement(capsys):
+    code = main(["check", "--config", "1", "--requirement", "1"])
+    assert code == 0
+    assert "deadlock" in capsys.readouterr().out
+
+
+def test_check_error1_fails_with_trace(capsys):
+    code = main([
+        "check", "--config", "1", "--variant", "error1", "--cyclic",
+        "--requirement", "1", "--trace",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "VIOLATED" in out
+    assert "stale_remote_wait" in out
+
+
+def test_check_error2(capsys):
+    code = main([
+        "check", "--config", "2", "--variant", "error2",
+        "--requirement", "3.2",
+    ])
+    assert code == 1
+
+
+def test_explore_writes_aut(tmp_path, capsys):
+    path = tmp_path / "c1.aut"
+    code = main(["explore", "--config", "1", "--aut", str(path)])
+    assert code == 0
+    text = path.read_text()
+    assert text.startswith("des (0,")
+    from repro.lts.aut import read_aut
+
+    lts = read_aut(path)
+    assert lts.n_states > 100
+
+
+def test_table8_small(capsys):
+    code = main(["table8", "--rounds", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Table 8" in out
+    assert out.count("yes") == 3
+
+
+def test_narrate_error1(capsys):
+    code = main([
+        "narrate", "--config", "1", "--variant", "error1", "--cyclic",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "never arrive" in out  # the Error-1 narration
+
+
+def test_narrate_nothing_to_tell(capsys):
+    code = main(["narrate", "--config", "1", "--variant", "fixed"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "nothing to narrate" in out
+
+
+def test_litmus(capsys):
+    code = main(["litmus"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "conforms" in out
+
+
+def test_formula_check(capsys):
+    code = main(["formula", "--config", "1", "[T*.c_home] F"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "True" in out
+
+
+def test_formula_violated(capsys):
+    code = main([
+        "formula", "--config", "1", "--variant", "error1", "--cyclic",
+        "<T*.stale_remote_wait(t0)> T",
+    ])
+    assert code == 0  # the buggy path is reachable -> formula True
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_formula_no_probes(capsys):
+    code = main([
+        "formula", "--config", "1", "--no-probes",
+        "[T*.write(t0)] mu X. (<T>T /\\ [not writeover(t0)] X)",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "True" in out

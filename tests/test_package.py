@@ -1,0 +1,80 @@
+"""Package surface tests: imports, __all__, version."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.algebra",
+    "repro.lts",
+    "repro.mucalc",
+    "repro.jackal",
+    "repro.jmm",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_imports(name):
+    mod = importlib.import_module(name)
+    assert mod is not None
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_entries_resolve(name):
+    mod = importlib.import_module(name)
+    for entry in getattr(mod, "__all__", []):
+        assert hasattr(mod, entry), f"{name}.{entry} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy():
+    import repro
+    from repro.errors import (
+        AutFormatError,
+        ExplorationLimitError,
+        FormulaSemanticsError,
+        FormulaSyntaxError,
+        ModelError,
+        ReproError,
+        SpecificationError,
+        TraceError,
+    )
+
+    for exc in (
+        SpecificationError,
+        ExplorationLimitError,
+        FormulaSyntaxError,
+        FormulaSemanticsError,
+        ModelError,
+        TraceError,
+        AutFormatError,
+    ):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+    assert repro.ReproError is ReproError
+
+
+def test_docstrings_on_public_api():
+    """Every public item exported by a subpackage carries a docstring."""
+    for name in SUBPACKAGES:
+        mod = importlib.import_module(name)
+        assert mod.__doc__, f"{name} lacks a module docstring"
+        for entry in getattr(mod, "__all__", []):
+            obj = getattr(mod, entry)
+            if callable(obj) or isinstance(obj, type):
+                assert getattr(obj, "__doc__", None), (
+                    f"{name}.{entry} lacks a docstring"
+                )
+
+
+def test_cli_module_importable():
+    from repro.cli import main
+
+    assert callable(main)
