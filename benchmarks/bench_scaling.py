@@ -6,14 +6,24 @@ rapidly with respect to the number of threads and processors."
 Regenerates the state/transition growth series along both axes
 (processors with one thread each; threads on a fixed two-processor
 system) and asserts the super-linear growth the paper reports.
+
+Also benchmarks the exploration engine against the seed serial
+explorer (``test_engine_speedup``): the engine must clear 2x the
+serial states/sec on the same configuration while producing the
+identical LTS, and the full cross-backend report is written to
+``BENCH_explore.json``.
 """
 
 import dataclasses
+import json
+import pathlib
 
 import pytest
 
 from repro.analysis.reporting import Table
 from repro.jackal import Config, JackalModel, ProtocolVariant
+from repro.lts.bench import bench_explore, format_bench
+from repro.lts.engine import explore_fast
 from repro.lts.explore import ExplorationStats, explore
 
 
@@ -64,6 +74,43 @@ def test_growth_in_threads(once):
     print()
     print(Table("growth in threads (2 processors, 1 round)",
                 ["topology", "states", "transitions", "seconds"], rows).render())
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_engine_speedup(once):
+    """The exploration engine clears 2x the seed serial explorer.
+
+    Timings are min-of-3 with a warm-up pass on both sides, the
+    standard guard against scheduler noise; the serial and engine runs
+    are interleaved so background load hits both equally. Counts are
+    cross-checked by :func:`bench_explore` (it raises on any backend
+    disagreement), and the full report lands in ``BENCH_explore.json``.
+    """
+    cfg = Config(
+        threads_per_processor=(1, 1, 1), rounds=1, with_probes=False
+    )
+    model = JackalModel(cfg, ProtocolVariant.fixed())
+
+    def run():
+        explore(model)  # warm both paths before timing
+        explore_fast(model)
+        return bench_explore(
+            model,
+            backends=("serial", "engine", "engine-packed", "distributed"),
+            n_workers=2,
+            repeats=3,
+        )
+
+    report = once(run)
+    report["config"] = cfg.describe()
+    out = pathlib.Path("BENCH_explore.json")
+    out.write_text(json.dumps(report, indent=2))
+    print()
+    print(format_bench(report))
+    print(f"written: {out.resolve()}")
+    assert report["system"]["states"] == 9312
+    assert report["system"]["transitions"] == 25713
+    assert report["speedup"]["engine"] >= 2.0
 
 
 @pytest.mark.benchmark(group="scaling")

@@ -10,6 +10,7 @@ checking, trace narration — as subcommands::
     python -m repro narrate --config 1 --variant error1 --cyclic
     python -m repro litmus
     python -m repro formula --config 1 '[T*.c_home] F'
+    python -m repro bench   --config 1 --out BENCH_explore.json --profile
 """
 
 from __future__ import annotations
@@ -152,6 +153,50 @@ def _cmd_narrate(args) -> int:
     return 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.lts.bench import BenchMismatchError, bench_explore, format_bench
+
+    cfg = dataclasses.replace(_config(args), with_probes=False)
+    variant = _VARIANTS[args.variant]()
+    model = build_model(cfg, variant, probes=False)
+    backends = tuple(args.backends.split(","))
+    try:
+        report = bench_explore(
+            model,
+            backends=backends,
+            n_workers=args.workers,
+            repeats=args.repeats,
+            profile=args.profile,
+        )
+    except BenchMismatchError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 2
+    report["config"] = cfg.describe()
+    report["variant"] = variant.describe()
+    print(format_bench(report))
+    if args.profile:
+        print()
+        print(report["profile"])
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"written: {args.out}")
+    if args.min_sps is not None:
+        best = max(
+            row["states_per_second"] for row in report["backends"].values()
+        )
+        if best < args.min_sps:
+            print(
+                f"FAIL: best throughput {best:.0f} states/s below the "
+                f"--min-sps floor {args.min_sps}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_litmus(_args) -> int:
     from repro.jmm import LITMUS_TESTS, run_conformance
 
@@ -212,6 +257,27 @@ def main(argv: list[str] | None = None) -> int:
     _add_model_args(p)
     p.add_argument("--requirement", choices=("1", "3.2"), default="1")
     p.set_defaults(fn=_cmd_narrate)
+
+    p = sub.add_parser(
+        "bench", help="benchmark the exploration backends (BENCH_explore.json)"
+    )
+    _add_model_args(p)
+    p.add_argument(
+        "--backends",
+        default="serial,engine,engine-packed,distributed",
+        help="comma-separated backends (serial is always run)",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="partitions for the distributed backend (default 2)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timed runs per backend; best is reported")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the engine and print hot functions")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the report (e.g. BENCH_explore.json)")
+    p.add_argument("--min-sps", type=float, default=None,
+                   help="exit 1 if the best backend is slower than this")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("litmus", help="JMM conformance of the DSM runtime")
     p.set_defaults(fn=_cmd_litmus)

@@ -1,0 +1,368 @@
+"""Packed fixed-width state codec for the Jackal protocol model.
+
+A :class:`JackalModel` state is a nested tuple —
+
+    (threads, copies, hq, rq, hqa, rqa, locks, migs)
+
+— some forty small-int objects plus a dozen inner tuples, costing
+hundreds of bytes per state and a recursive hash on every visited-set
+probe. For a fixed :class:`~repro.jackal.params.Config` every field
+ranges over a small known domain, so the whole state packs losslessly
+into one fixed-width integer:
+
+* each thread tuple packs into ``phase | reg | aho | wdone | rounds |
+  dirty`` bit fields;
+* each region copy packs into ``home | rstate | writer_mask |
+  localthreads``;
+* queue slots enumerate their message alphabet (``0`` = empty, dense
+  codes for ``REQ``/``FLUSH``/``RET`` payloads);
+* lock tuples pack holder ids and waiter bitmasks verbatim;
+* migration slots enumerate ``(writer_mask, rstate)`` payloads.
+
+The reserved key ``0`` encodes the :data:`~repro.jackal.model.VIOLATION`
+sink; every ordinary state is ``(bits << 1) | 1``.
+
+The codec is the currency of the performance layer: visited sets and
+successor memos key on the packed int (one machine word + int object
+instead of a tuple tree), hash partitioning mixes it directly
+(:func:`repro.lts.statehash.state_key64`), and the distributed backend
+ships packed keys between workers instead of pickled tuple trees.
+
+Sub-tuple packing is memoised: protocol states overlap heavily in
+their components (a transition changes one thread, one copy, one
+queue slot), so after warm-up an ``encode`` is a handful of dict hits
+on small tuples rather than a field-by-field walk.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.jackal.model import VIOLATION, JackalModel, Msg
+
+
+def _width(max_value: int) -> int:
+    """Bits needed for values ``0..max_value`` (at least one)."""
+    return max(1, max_value.bit_length())
+
+
+class StateCodec:
+    """Bijection between model states and fixed-width integers.
+
+    Parameters
+    ----------
+    model:
+        The model whose configuration fixes every field domain. States
+        of other models with the same topology (processors, threads,
+        regions, rounds, writes) encode identically.
+    """
+
+    def __init__(self, model: JackalModel):
+        cfg = model.config
+        self.T = T = model.n_threads
+        self.P = P = model.n_proc
+        self.R = R = model.n_regions
+        W = cfg.writes_per_round
+        rounds0 = -1 if cfg.rounds is None else cfg.rounds
+
+        # thread fields: phase, reg, aho, wdone, rounds+1, dirty
+        self._w_phase = 4  # Phase has 12 values
+        self._w_reg = _width(R - 1)
+        self._w_wdone = _width(W)
+        self._w_rounds = _width(rounds0 + 1)
+        self._w_dirty = R
+        self._w_thread = (
+            self._w_phase + self._w_reg + 1 + self._w_wdone
+            + self._w_rounds + self._w_dirty
+        )
+        # copy fields: home, rstate, writer_mask, localthreads
+        self._w_home = _width(P - 1)
+        self._w_lt = _width(T)
+        self._w_copy = self._w_home + 1 + P + self._w_lt
+        self._w_copyrow = R * self._w_copy
+        # home-queue slots: 0 | REQ/FLUSH x tid x src x r
+        self._n_hmsg = 2 * T * P * R
+        self._w_hmsg = _width(self._n_hmsg)
+        # remote-queue slots: 0 | RET x tid x sender x mig x wl x rstate x r
+        self._n_rmsg = T * P * 2 * (1 << P) * 2 * R
+        self._w_rmsg = _width(self._n_rmsg)
+        # locks: holder (0..T) and waiter masks, three lock kinds
+        self._w_holder = _width(T)
+        self._w_locks = 3 * (self._w_holder + T)
+        # migration slots: 0 | (writer_mask, rstate)
+        self._w_mig = _width(1 << (P + 1))
+        self._w_migrow = R * self._w_mig
+
+        #: total key width (including the violation flag bit)
+        self.n_bits = 1 + (
+            T * self._w_thread
+            + P * self._w_copyrow
+            + 2 * P * self._w_hmsg
+            + 2 * P * self._w_rmsg
+            + P * self._w_locks
+            + P * self._w_migrow
+        )
+        #: bytes needed by :meth:`encode_bytes`
+        self.n_bytes = (self.n_bits + 7) // 8
+
+        # memo tables: sub-tuple -> packed bits (and the reverse)
+        self._enc_thread: dict = {}
+        self._enc_copyrow: dict = {}
+        self._enc_hmsg: dict = {0: 0}
+        self._enc_rmsg: dict = {0: 0}
+        self._enc_locks: dict = {}
+        self._enc_migrow: dict = {}
+        self._dec_thread: dict = {}
+        self._dec_copyrow: dict = {}
+        self._dec_hmsg: dict = {0: 0}
+        self._dec_rmsg: dict = {0: 0}
+        self._dec_locks: dict = {}
+        self._dec_migrow: dict = {}
+
+    # -- packing helpers (cache-miss path; results are memoised) --------
+
+    def _check(self, value: int, width: int, what: str) -> int:
+        if not 0 <= value < (1 << width):
+            raise ModelError(f"{what} {value} outside codec field range")
+        return value
+
+    def _pack_thread(self, th) -> int:
+        ph, reg, aho, wdone, rounds, dirty = th
+        v = self._check(ph, self._w_phase, "phase")
+        v = v << self._w_reg | self._check(reg, self._w_reg, "reg")
+        v = v << 1 | self._check(aho, 1, "aho")
+        v = v << self._w_wdone | self._check(wdone, self._w_wdone, "wdone")
+        v = v << self._w_rounds | self._check(
+            rounds + 1, self._w_rounds, "rounds"
+        )
+        return v << self._w_dirty | self._check(dirty, self._w_dirty, "dirty")
+
+    def _unpack_thread(self, v: int):
+        m = (1 << self._w_dirty) - 1
+        dirty = v & m
+        v >>= self._w_dirty
+        rounds = (v & ((1 << self._w_rounds) - 1)) - 1
+        v >>= self._w_rounds
+        wdone = v & ((1 << self._w_wdone) - 1)
+        v >>= self._w_wdone
+        aho = v & 1
+        v >>= 1
+        reg = v & ((1 << self._w_reg) - 1)
+        return (v >> self._w_reg, reg, aho, wdone, rounds, dirty)
+
+    def _pack_copyrow(self, row) -> int:
+        v = 0
+        for home, rstate, wl, lt in row:
+            v = v << self._w_home | self._check(home, self._w_home, "home")
+            v = v << 1 | self._check(rstate, 1, "rstate")
+            v = v << self.P | self._check(wl, self.P, "writer_mask")
+            v = v << self._w_lt | self._check(lt, self._w_lt, "localthreads")
+        return v
+
+    def _unpack_copyrow(self, v: int):
+        out = []
+        for _ in range(self.R):
+            lt = v & ((1 << self._w_lt) - 1)
+            v >>= self._w_lt
+            wl = v & ((1 << self.P) - 1)
+            v >>= self.P
+            rstate = v & 1
+            v >>= 1
+            out.append((v & ((1 << self._w_home) - 1), rstate, wl, lt))
+            v >>= self._w_home
+        return tuple(reversed(out))
+
+    def _pack_hmsg(self, msg) -> int:
+        kind, tid, src, r = msg
+        if kind == Msg.REQ:
+            k = 0
+        elif kind == Msg.FLUSH:
+            k = 1
+        else:
+            raise ModelError(f"message kind {kind} cannot sit in a home queue")
+        return 1 + ((k * self.T + tid) * self.P + src) * self.R + r
+
+    def _unpack_hmsg(self, code: int):
+        code -= 1
+        code, r = divmod(code, self.R)
+        code, src = divmod(code, self.P)
+        k, tid = divmod(code, self.T)
+        return (int(Msg.FLUSH) if k else int(Msg.REQ), tid, src, r)
+
+    def _pack_rmsg(self, msg) -> int:
+        kind, tid, sender, mig, wl, rstate, r = msg
+        if kind != Msg.RET:
+            raise ModelError(f"message kind {kind} cannot sit in a remote queue")
+        code = (tid * self.P + sender) * 2 + mig
+        code = (code << self.P | wl) * 2 + rstate
+        return 1 + code * self.R + r
+
+    def _unpack_rmsg(self, code: int):
+        code -= 1
+        code, r = divmod(code, self.R)
+        code, rstate = divmod(code, 2)
+        wl = code & ((1 << self.P) - 1)
+        code >>= self.P
+        code, mig = divmod(code, 2)
+        tid, sender = divmod(code, self.P)
+        return (int(Msg.RET), tid, sender, mig, wl, rstate, r)
+
+    def _pack_locks(self, lp) -> int:
+        v = 0
+        for i in (0, 2, 4):
+            v = v << self._w_holder | self._check(
+                lp[i], self._w_holder, "lock holder"
+            )
+            v = v << self.T | self._check(lp[i + 1], self.T, "waiter mask")
+        return v
+
+    def _unpack_locks(self, v: int):
+        out = []
+        for _ in range(3):
+            w = v & ((1 << self.T) - 1)
+            v >>= self.T
+            out.append(w)
+            out.append(v & ((1 << self._w_holder) - 1))
+            v >>= self._w_holder
+        return tuple(reversed(out))
+
+    def _pack_migrow(self, row) -> int:
+        v = 0
+        for m in row:
+            code = 0 if m == 0 else 1 + (m[0] * 2 + m[1])
+            v = v << self._w_mig | self._check(code, self._w_mig, "migration")
+        return v
+
+    def _unpack_migrow(self, v: int):
+        out = []
+        for _ in range(self.R):
+            code = v & ((1 << self._w_mig) - 1)
+            v >>= self._w_mig
+            if code == 0:
+                out.append(0)
+            else:
+                wl, rstate = divmod(code - 1, 2)
+                out.append((wl, rstate))
+        return tuple(reversed(out))
+
+    # -- public API -----------------------------------------------------
+
+    def encode(self, state) -> int:
+        """Pack ``state`` into its integer key (``0`` = VIOLATION)."""
+        if len(state) != 8:
+            if state != VIOLATION:
+                raise ModelError(f"not a protocol state: {state!r}")
+            return 0
+        threads, copies, hq, rq, hqa, rqa, locks, migs = state
+        key = 0
+        et = self._enc_thread
+        wt = self._w_thread
+        for th in threads:
+            v = et.get(th)
+            if v is None:
+                v = et[th] = self._pack_thread(th)
+                self._dec_thread[v] = th
+            key = key << wt | v
+        ec = self._enc_copyrow
+        wc = self._w_copyrow
+        for row in copies:
+            v = ec.get(row)
+            if v is None:
+                v = ec[row] = self._pack_copyrow(row)
+                self._dec_copyrow[v] = row
+            key = key << wc | v
+        eh = self._enc_hmsg
+        wh = self._w_hmsg
+        er = self._enc_rmsg
+        wr = self._w_rmsg
+        for q in (hq, hqa):
+            for m in q:
+                v = eh.get(m)
+                if v is None:
+                    v = eh[m] = self._pack_hmsg(m)
+                    self._dec_hmsg[v] = m
+                key = key << wh | v
+        for q in (rq, rqa):
+            for m in q:
+                v = er.get(m)
+                if v is None:
+                    v = er[m] = self._pack_rmsg(m)
+                    self._dec_rmsg[v] = m
+                key = key << wr | v
+        el = self._enc_locks
+        wl = self._w_locks
+        for lp in locks:
+            v = el.get(lp)
+            if v is None:
+                v = el[lp] = self._pack_locks(lp)
+                self._dec_locks[v] = lp
+            key = key << wl | v
+        em = self._enc_migrow
+        wm = self._w_migrow
+        for row in migs:
+            v = em.get(row)
+            if v is None:
+                v = em[row] = self._pack_migrow(row)
+                self._dec_migrow[v] = row
+            key = key << wm | v
+        return key << 1 | 1
+
+    def decode(self, key: int):
+        """Inverse of :meth:`encode`."""
+        if key == 0:
+            return VIOLATION
+        key >>= 1
+        P, R = self.P, self.R
+
+        def take(width: int, count: int, table: dict, unpack):
+            nonlocal key
+            mask = (1 << width) - 1
+            out = []
+            for _ in range(count):
+                v = key & mask
+                key >>= width
+                item = table.get(v)
+                if item is None:
+                    item = table[v] = unpack(v)
+                out.append(item)
+            return tuple(reversed(out))
+
+        migs = take(self._w_migrow, P, self._dec_migrow, self._unpack_migrow)
+        locks = take(self._w_locks, P, self._dec_locks, self._unpack_locks)
+        rqa = take(self._w_rmsg, P, self._dec_rmsg, self._unpack_rmsg)
+        rq = take(self._w_rmsg, P, self._dec_rmsg, self._unpack_rmsg)
+        hqa = take(self._w_hmsg, P, self._dec_hmsg, self._unpack_hmsg)
+        hq = take(self._w_hmsg, P, self._dec_hmsg, self._unpack_hmsg)
+        copies = take(
+            self._w_copyrow, P, self._dec_copyrow, self._unpack_copyrow
+        )
+        threads = take(
+            self._w_thread, self.T, self._dec_thread, self._unpack_thread
+        )
+        return (threads, copies, hq, rq, hqa, rqa, locks, migs)
+
+    def encode_bytes(self, state) -> bytes:
+        """The packed key as a fixed-width big-endian byte string."""
+        return self.encode(state).to_bytes(self.n_bytes, "big")
+
+    def decode_bytes(self, data: bytes):
+        """Inverse of :meth:`encode_bytes`."""
+        return self.decode(int.from_bytes(data, "big"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateCodec(T={self.T}, P={self.P}, R={self.R}, "
+            f"bits={self.n_bits})"
+        )
+
+
+def codec_for(system) -> StateCodec | None:
+    """A codec for ``system`` when one applies (else ``None``).
+
+    The generic exploration machinery calls this to decide whether
+    packed keys are available; any system exposing a ``codec()``
+    method returning an encode/decode pair participates.
+    """
+    factory = getattr(system, "codec", None)
+    if factory is None:
+        return None
+    return factory()

@@ -99,6 +99,32 @@ VIOLATION = ("VIOLATION",)
 # lock tuple slots
 _SRV_H, _SRV_W, _FLT_H, _FLT_W, _FLS_H, _FLS_W = range(6)
 
+# plain-int phase/message constants for the fast successor path (IntEnum
+# member comparisons cost an attribute lookup per use; the hot path pays
+# that millions of times)
+_PH_IDLE = int(Phase.IDLE)
+_PH_WANT_SERVER = int(Phase.WANT_SERVER)
+_PH_HAVE_SERVER = int(Phase.HAVE_SERVER)
+_PH_WANT_FAULT = int(Phase.WANT_FAULT)
+_PH_HAVE_FAULT = int(Phase.HAVE_FAULT)
+_PH_WAIT_DATA = int(Phase.WAIT_DATA)
+_PH_REMOTE_READY = int(Phase.REMOTE_READY)
+_PH_WANT_FLUSH = int(Phase.WANT_FLUSH)
+_PH_HAVE_FLUSH = int(Phase.HAVE_FLUSH)
+_PH_LOCAL = int(Phase.LOCAL)
+_PH_ALF_WRITE = int(Phase.ALF_WRITE)
+_PH_ALF_FLUSH = int(Phase.ALF_FLUSH)
+#: phases whose thread makes no move of its own (it waits on a lock
+#: grant or a data return) — the fast path skips dispatch for these
+_PH_NO_THREAD_MOVE = frozenset(
+    (_PH_WANT_SERVER, _PH_WANT_FAULT, _PH_WANT_FLUSH, _PH_WAIT_DATA)
+)
+_MSG_REQ = int(Msg.REQ)
+_MSG_RET = int(Msg.RET)
+_MSG_FLUSH = int(Msg.FLUSH)
+_RS_UNUSED = int(RegionState.UNUSED)
+_RS_USED = int(RegionState.USED)
+
 
 def _set(t: tuple, i: int, v) -> tuple:
     """Functional update of tuple ``t`` at index ``i``."""
@@ -188,6 +214,8 @@ class JackalModel:
         ]
         self.lbl_hql = [L.lock_homequeue(p) for p in range(P)]
         self.lbl_rql = [L.lock_remotequeue(p) for p in range(P)]
+        self.lbl_viol_lt = L.assertion("localthreads_negative")
+        self.lbl_viol_ret = L.assertion("unexpected_data_return")
 
     # -- initial state ------------------------------------------------------
 
@@ -241,6 +269,595 @@ class JackalModel:
         if self.config.with_probes:
             self._probe_moves(state, out)
         return out
+
+    def successors_fast(self, state):  # noqa: C901 - deliberately inlined
+        """Hand-inlined :meth:`successors` for the exploration engine.
+
+        Semantically identical to :meth:`successors` — same transitions,
+        same labels, same order — but with the tuple-surgery helpers
+        (``_set``, ``_with_thread``, ...) flattened into direct tuple
+        construction. The generic helpers rebuild an intermediate
+        8-tuple per component touched; a typical protocol move touches
+        two or three components, so the reference path allocates ~3x
+        the tuples and pays ~10 function calls per transition that this
+        path does not. ``tests/jackal/test_codec.py`` pins exact
+        agreement between the two implementations state by state.
+
+        Keep :meth:`successors` as the readable specification; mirror
+        any rule change here.
+        """
+        if len(state) != 8:  # VIOLATION is the only non-8-tuple state
+            return []
+        threads, copies, hq, rq, hqa, rqa, locks, migs = state
+        out: list[tuple[str, tuple]] = []
+        out_append = out.append
+        n_proc = self.n_proc
+        n_regions = self.n_regions
+        variant = self.variant
+        alf = variant.adaptive_lazy_flushing
+        home_migration = variant.home_migration
+        check_assertions = self.check_assertions
+        pid_of = self.pid_of
+        W = self._W
+
+        # -- thread moves --------------------------------------------------
+        lbl_write = self.lbl_write
+        lbl_writeover = self.lbl_writeover
+        for tid in range(self.n_threads):
+            th = threads[tid]
+            ph, reg, aho, wdone, rounds, dirty = th
+            pid = pid_of[tid]
+
+            if ph == _PH_IDLE:
+                if rounds == 0:
+                    continue
+                if wdone < W:
+                    lp = locks[pid]
+                    crow = copies[pid]
+                    tbit = 1 << tid
+                    # this branch emits one move per region: hoist the
+                    # surrounding slices out of the region loop
+                    tpre, tsuf = threads[:tid], threads[tid + 1:]
+                    lpre, lsuf = locks[:pid], locks[pid + 1:]
+                    for r in range(n_regions):
+                        if dirty >> r & 1:
+                            nt = (_PH_LOCAL, r, aho, wdone, rounds, dirty)
+                            out_append((
+                                lbl_write[tid],
+                                (tpre + (nt,) + tsuf,
+                                 copies, hq, rq, hqa, rqa, locks, migs),
+                            ))
+                        elif crow[r][0] == pid:
+                            if alf and crow[r][2] in (0, 1 << pid):
+                                nt = (_PH_ALF_WRITE, r, 0, wdone, rounds, dirty)
+                                out_append((
+                                    lbl_write[tid],
+                                    (tpre + (nt,) + tsuf,
+                                     copies, hq, rq, hqa, rqa, locks, migs),
+                                ))
+                                continue
+                            nt = (_PH_WANT_SERVER, r, 0, wdone, rounds, dirty)
+                            nlp = (lp[0], lp[1] | tbit, lp[2], lp[3], lp[4], lp[5])
+                            out_append((
+                                lbl_write[tid],
+                                (tpre + (nt,) + tsuf,
+                                 copies, hq, rq, hqa, rqa,
+                                 lpre + (nlp,) + lsuf, migs),
+                            ))
+                        else:
+                            nt = (_PH_WANT_FAULT, r, 0, wdone, rounds, dirty)
+                            nlp = (lp[0], lp[1], lp[2], lp[3] | tbit, lp[4], lp[5])
+                            out_append((
+                                lbl_write[tid],
+                                (tpre + (nt,) + tsuf,
+                                 copies, hq, rq, hqa, rqa,
+                                 lpre + (nlp,) + lsuf, migs),
+                            ))
+                elif dirty:
+                    if alf and self._alf_flushable(copies, pid, dirty):
+                        nt = (_PH_ALF_FLUSH, reg, 0, wdone, rounds, dirty)
+                        out_append((
+                            self.lbl_flush[tid],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies, hq, rq, hqa, rqa, locks, migs),
+                        ))
+                        continue
+                    nt = (_PH_WANT_FLUSH, reg, 0, wdone, rounds, dirty)
+                    lp = locks[pid]
+                    nlp = (lp[0], lp[1], lp[2], lp[3], lp[4], lp[5] | (1 << tid))
+                    out_append((
+                        self.lbl_flush[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+                else:
+                    raise ModelError(f"thread {tid}: wdone={wdone} but clean")
+                continue
+
+            if ph == _PH_HAVE_FLUSH:
+                if dirty == 0:
+                    nr = rounds - 1 if rounds > 0 else rounds
+                    nt = (_PH_IDLE, reg, 0, 0, nr, 0)
+                    lp = locks[pid]
+                    if lp[4] == 0:
+                        raise ModelError(
+                            f"releasing free lock slot {_FLS_H} on p{pid}"
+                        )
+                    nlp = (lp[0], lp[1], lp[2], lp[3], 0, lp[5])
+                    out_append((
+                        self.lbl_flushover[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+                    continue
+                r = (dirty & -dirty).bit_length() - 1
+                crow = copies[pid]
+                home = crow[r][0]
+                if home == pid:
+                    h, rs, wl, lt = crow[r]
+                    if check_assertions and lt <= 0:
+                        out_append((self.lbl_viol_lt, VIOLATION))
+                        continue
+                    nlt = lt - 1
+                    nwl = wl if nlt > 0 else wl & ~(1 << pid)
+                    ndirty = dirty & ~(1 << r)
+                    nt = (_PH_HAVE_FLUSH, reg, 0, wdone, rounds, ndirty)
+                    if (home_migration and nwl != 0
+                            and (nwl & (nwl - 1)) == 0
+                            and nwl != (1 << pid)):
+                        dst = nwl.bit_length() - 1
+                        if migs[dst][r] != 0:
+                            continue
+                        nc = (dst, _RS_USED, 0, nlt)
+                        mrow = migs[dst]
+                        nmrow = (mrow[:r] + ((nwl, _RS_USED),) + mrow[r + 1:])
+                        out_append((
+                            self.lbl_fhome_mig[tid][pid][dst],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                             + copies[pid + 1:],
+                             hq, rq, hqa, rqa, locks,
+                             migs[:dst] + (nmrow,) + migs[dst + 1:]),
+                        ))
+                    else:
+                        nrs = _RS_USED if (nwl or nlt > 0) else _RS_UNUSED
+                        nc = (pid, nrs, nwl, nlt)
+                        out_append((
+                            self.lbl_fhome[tid][pid],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                             + copies[pid + 1:],
+                             hq, rq, hqa, rqa, locks, migs),
+                        ))
+                else:
+                    if hq[home] == 0:
+                        h, rs, wl, lt = crow[r]
+                        if check_assertions and lt <= 0:
+                            out_append((self.lbl_viol_lt, VIOLATION))
+                            continue
+                        nc = (h, rs, wl, lt - 1)
+                        msg = (_MSG_FLUSH, tid, pid, r)
+                        nt = (_PH_HAVE_FLUSH, reg, 0, wdone, rounds,
+                              dirty & ~(1 << r))
+                        out_append((
+                            self.lbl_sflush[tid][pid][home],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                             + copies[pid + 1:],
+                             hq[:home] + (msg,) + hq[home + 1:],
+                             rq, hqa, rqa, locks, migs),
+                        ))
+                continue
+
+            if ph in _PH_NO_THREAD_MOVE:
+                # WANT_* / WAIT_DATA: this thread moves via other
+                # components; skip the rest of the dispatch chain
+                continue
+
+            if ph == _PH_REMOTE_READY:
+                crow = copies[pid]
+                h, rs, wl, lt = crow[reg]
+                nc = (h, rs, wl, lt + 1)
+                ncopies = (copies[:pid]
+                           + (crow[:reg] + (nc,) + crow[reg + 1:],)
+                           + copies[pid + 1:])
+                nt = (_PH_IDLE, reg, 0, wdone + 1, rounds, dirty | (1 << reg))
+                lp = locks[pid]
+                if lp[2] == 0:
+                    raise ModelError(f"releasing free lock slot {_FLT_H} on p{pid}")
+                nlp = (lp[0], lp[1], 0, lp[3], lp[4], lp[5])
+                out_append((
+                    lbl_writeover[tid],
+                    (threads[:tid] + (nt,) + threads[tid + 1:],
+                     ncopies, hq, rq, hqa, rqa,
+                     locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                ))
+                continue
+
+            if ph == _PH_HAVE_FAULT:
+                home = copies[pid][reg][0]
+                lp = locks[pid]
+                if home == pid:
+                    if variant.fault_lock_recheck:
+                        if lp[2] == 0:
+                            raise ModelError(
+                                f"releasing free lock slot {_FLT_H} on p{pid}"
+                            )
+                        nt = (_PH_WANT_SERVER, reg, 0, wdone, rounds, dirty)
+                        nlp = (lp[0], lp[1] | (1 << tid), 0, lp[3], lp[4], lp[5])
+                        out_append((
+                            self.lbl_f2s[tid],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies, hq, rq, hqa, rqa,
+                             locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                        ))
+                    else:
+                        nt = (_PH_WAIT_DATA, reg, 0, wdone, rounds, dirty)
+                        out_append((
+                            self.lbl_stale[tid],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies, hq, rq, hqa, rqa, locks, migs),
+                        ))
+                else:
+                    if hq[home] == 0:
+                        msg = (_MSG_REQ, tid, pid, reg)
+                        nt = (_PH_WAIT_DATA, reg, 0, wdone, rounds, dirty)
+                        out_append((
+                            self.lbl_sreq[tid][pid][home],
+                            (threads[:tid] + (nt,) + threads[tid + 1:],
+                             copies, hq[:home] + (msg,) + hq[home + 1:],
+                             rq, hqa, rqa, locks, migs),
+                        ))
+                continue
+
+            if ph == _PH_HAVE_SERVER:
+                crow = copies[pid]
+                lp = locks[pid]
+                if lp[0] == 0:
+                    raise ModelError(f"releasing free lock slot {_SRV_H} on p{pid}")
+                if crow[reg][0] == pid:
+                    h, rs, wl, lt = crow[reg]
+                    nc = (pid, _RS_USED, wl | (1 << pid), lt + 1)
+                    ncopies = (copies[:pid]
+                               + (crow[:reg] + (nc,) + crow[reg + 1:],)
+                               + copies[pid + 1:])
+                    nt = (_PH_IDLE, reg, 0, wdone + 1, rounds,
+                          dirty | (1 << reg))
+                    nlp = (0, lp[1], lp[2], lp[3], lp[4], lp[5])
+                    out_append((
+                        lbl_writeover[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         ncopies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+                else:
+                    nt = (_PH_WANT_FAULT, reg, 0, wdone, rounds, dirty)
+                    nlp = (0, lp[1], lp[2], lp[3] | (1 << tid), lp[4], lp[5])
+                    out_append((
+                        self.lbl_restart[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+                continue
+
+            if ph == _PH_LOCAL:
+                nt = (_PH_IDLE, reg, aho, wdone + 1, rounds, dirty)
+                out_append((
+                    lbl_writeover[tid],
+                    (threads[:tid] + (nt,) + threads[tid + 1:],
+                     copies, hq, rq, hqa, rqa, locks, migs),
+                ))
+                continue
+
+            if ph == _PH_ALF_WRITE:
+                crow = copies[pid]
+                h, rs, wl, lt = crow[reg]
+                if h == pid and wl in (0, 1 << pid):
+                    nc = (pid, _RS_USED, wl | (1 << pid), lt + 1)
+                    ncopies = (copies[:pid]
+                               + (crow[:reg] + (nc,) + crow[reg + 1:],)
+                               + copies[pid + 1:])
+                    nt = (_PH_IDLE, reg, 0, wdone + 1, rounds,
+                          dirty | (1 << reg))
+                    out_append((
+                        lbl_writeover[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         ncopies, hq, rq, hqa, rqa, locks, migs),
+                    ))
+                else:
+                    nt = (_PH_IDLE, reg, 0, wdone, rounds, dirty)
+                    out_append((
+                        self.lbl_restart[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa, locks, migs),
+                    ))
+                continue
+
+            if ph == _PH_ALF_FLUSH:
+                if self._alf_flushable(copies, pid, dirty):
+                    row = list(copies[pid])
+                    ok = True
+                    for r in range(n_regions):
+                        if not (dirty >> r & 1):
+                            continue
+                        h, rs, wl, lt = row[r]
+                        if check_assertions and lt <= 0:
+                            ok = False
+                            break
+                        nlt = lt - 1
+                        nwl = wl if nlt > 0 else wl & ~(1 << pid)
+                        nrs = _RS_USED if (nwl or nlt > 0) else _RS_UNUSED
+                        row[r] = (pid, nrs, nwl, nlt)
+                    if not ok:
+                        out_append((self.lbl_viol_lt, VIOLATION))
+                        continue
+                    nr = rounds - 1 if rounds > 0 else rounds
+                    nt = (_PH_IDLE, reg, 0, 0, nr, 0)
+                    out_append((
+                        self.lbl_flushover[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies[:pid] + (tuple(row),) + copies[pid + 1:],
+                         hq, rq, hqa, rqa, locks, migs),
+                    ))
+                else:
+                    nt = (_PH_WANT_FLUSH, reg, 0, wdone, rounds, dirty)
+                    lp = locks[pid]
+                    nlp = (lp[0], lp[1], lp[2], lp[3], lp[4], lp[5] | (1 << tid))
+                    out_append((
+                        self.lbl_restart[tid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+                continue
+
+            # WANT_* and WAIT_DATA phases move via other components
+
+        # -- lock grants ---------------------------------------------------
+        lbl_lock_srv = self.lbl_lock_srv
+        lbl_lock_flt = self.lbl_lock_flt
+        lbl_lock_fls = self.lbl_lock_fls
+        for pid in range(n_proc):
+            sh, sw, fh, fw, lh, lw = locks[pid]
+            if sw and sh == 0 and lh == 0:
+                m = sw
+                while m:
+                    low = m & -m
+                    tid = low.bit_length() - 1
+                    m ^= low
+                    th = threads[tid]
+                    nt = (_PH_HAVE_SERVER, th[1], th[2], th[3], th[4], th[5])
+                    nlp = (tid + 1, sw & ~low, fh, fw, lh, lw)
+                    out_append((
+                        lbl_lock_srv[tid][pid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+            if fw and fh == 0 and lh == 0:
+                m = fw
+                while m:
+                    low = m & -m
+                    tid = low.bit_length() - 1
+                    m ^= low
+                    th = threads[tid]
+                    nt = (_PH_HAVE_FAULT, th[1], th[2], th[3], th[4], th[5])
+                    nlp = (sh, sw, tid + 1, fw & ~low, lh, lw)
+                    out_append((
+                        lbl_lock_flt[tid][pid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+            if (lw and lh == 0 and sh == 0 and fh == 0
+                    and hq[pid] == 0 and rq[pid] == 0
+                    and hqa[pid] == 0 and rqa[pid] == 0
+                    and not any(migs[pid])):
+                m = lw
+                while m:
+                    low = m & -m
+                    tid = low.bit_length() - 1
+                    m ^= low
+                    th = threads[tid]
+                    nt = (_PH_HAVE_FLUSH, th[1], th[2], th[3], th[4], th[5])
+                    nlp = (sh, sw, fh, fw, tid + 1, lw & ~low)
+                    out_append((
+                        lbl_lock_fls[tid][pid],
+                        (threads[:tid] + (nt,) + threads[tid + 1:],
+                         copies, hq, rq, hqa, rqa,
+                         locks[:pid] + (nlp,) + locks[pid + 1:], migs),
+                    ))
+
+        # -- home queue handlers -------------------------------------------
+        informs = variant.sponmigrate_informs_threads
+        for pid in range(n_proc):
+            migrow = migs[pid]
+            for r in range(n_regions):
+                if migrow[r] != 0:
+                    wl, rstate = migrow[r]
+                    crow = copies[pid]
+                    nc = (pid, rstate, wl, crow[r][3])
+                    ncopies = (copies[:pid]
+                               + (crow[:r] + (nc,) + crow[r + 1:],)
+                               + copies[pid + 1:])
+                    if informs:
+                        nthreads_l = list(threads)
+                        for tid in self.threads_on[pid]:
+                            th = nthreads_l[tid]
+                            if th[0] == _PH_WAIT_DATA and th[1] == r:
+                                nthreads_l[tid] = (th[0], th[1], 1,
+                                                   th[3], th[4], th[5])
+                        nthreads = tuple(nthreads_l)
+                    else:
+                        nthreads = threads
+                    nmigrow = migrow[:r] + (0,) + migrow[r + 1:]
+                    out_append((
+                        self.lbl_mig[pid],
+                        (nthreads, ncopies, hq, rq, hqa, rqa, locks,
+                         migs[:pid] + (nmigrow,) + migs[pid + 1:]),
+                    ))
+            held = hqa[pid]
+            if held == 0:
+                msg = hq[pid]
+                if msg == 0:
+                    continue
+                rqp = rq[pid]
+                rqap = rqa[pid]
+                mig_pending = ((rqp != 0 and rqp[3] == 1)
+                               or (rqap != 0 and rqap[3] == 1)
+                               or any(migrow))
+                if not mig_pending:
+                    out_append((
+                        self.lbl_hql[pid],
+                        (threads, copies, hq[:pid] + (0,) + hq[pid + 1:],
+                         rq, hqa[:pid] + (msg,) + hqa[pid + 1:],
+                         rqa, locks, migs),
+                    ))
+                continue
+            kind = held[0]
+            if kind == _MSG_REQ:
+                _k, tid, src, r = held
+                crow = copies[pid]
+                home, rs, wl, lt = crow[r]
+                if home != pid:
+                    if hq[home] == 0:
+                        out_append((
+                            self.lbl_fwd_req[pid][home],
+                            (threads, copies,
+                             hq[:home] + (held,) + hq[home + 1:],
+                             rq, hqa[:pid] + (0,) + hqa[pid + 1:],
+                             rqa, locks, migs),
+                        ))
+                    continue
+                nwl = wl | (1 << src)
+                if rq[src] != 0:
+                    continue
+                if home_migration and nwl == (1 << src) and src != pid:
+                    nc = (src, _RS_USED, 0, lt)
+                    ret = (_MSG_RET, tid, pid, 1, nwl, _RS_USED, r)
+                    label = self.lbl_sretm[pid][src]
+                else:
+                    nc = (pid, _RS_USED, nwl, lt)
+                    ret = (_MSG_RET, tid, pid, 0, 0, 0, r)
+                    label = self.lbl_sret[pid][src]
+                out_append((
+                    label,
+                    (threads,
+                     copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                     + copies[pid + 1:],
+                     hq, rq[:src] + (ret,) + rq[src + 1:],
+                     hqa[:pid] + (0,) + hqa[pid + 1:],
+                     rqa, locks, migs),
+                ))
+            elif kind == _MSG_FLUSH:
+                _k, tid, src, r = held
+                crow = copies[pid]
+                home, rs, wl, lt = crow[r]
+                if home != pid:
+                    if hq[home] == 0:
+                        out_append((
+                            self.lbl_fwd_flush[pid][home],
+                            (threads, copies,
+                             hq[:home] + (held,) + hq[home + 1:],
+                             rq, hqa[:pid] + (0,) + hqa[pid + 1:],
+                             rqa, locks, migs),
+                        ))
+                    continue
+                nwl = wl & ~(1 << src)
+                if (home_migration and nwl != 0
+                        and (nwl & (nwl - 1)) == 0
+                        and nwl != (1 << pid)):
+                    dst = nwl.bit_length() - 1
+                    if migs[dst][r] != 0:
+                        continue
+                    nc = (dst, _RS_USED, 0, lt)
+                    mrow = migs[dst]
+                    out_append((
+                        self.lbl_frecv_mig[pid][dst],
+                        (threads,
+                         copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                         + copies[pid + 1:],
+                         hq, rq, hqa[:pid] + (0,) + hqa[pid + 1:],
+                         rqa, locks,
+                         migs[:dst]
+                         + (mrow[:r] + ((nwl, _RS_USED),) + mrow[r + 1:],)
+                         + migs[dst + 1:]),
+                    ))
+                else:
+                    nrs = _RS_USED if (nwl or lt > 0) else _RS_UNUSED
+                    nc = (pid, nrs, nwl, lt)
+                    out_append((
+                        self.lbl_frecv[pid],
+                        (threads,
+                         copies[:pid] + (crow[:r] + (nc,) + crow[r + 1:],)
+                         + copies[pid + 1:],
+                         hq, rq, hqa[:pid] + (0,) + hqa[pid + 1:],
+                         rqa, locks, migs),
+                    ))
+            else:  # pragma: no cover - defensive
+                raise ModelError(f"bad home-queue message {held!r}")
+
+        # -- remote queue handlers -----------------------------------------
+        lbl_signal = self.lbl_signal
+        for pid in range(n_proc):
+            held = rqa[pid]
+            if held == 0:
+                msg = rq[pid]
+                if msg == 0:
+                    continue
+                out_append((
+                    self.lbl_rql[pid],
+                    (threads, copies, hq, rq[:pid] + (0,) + rq[pid + 1:],
+                     hqa, rqa[:pid] + (msg,) + rqa[pid + 1:], locks, migs),
+                ))
+                continue
+            _k, tid, sender, mig, wl, rstate, r = held
+            th = threads[tid]
+            ph, reg, aho, wdone, rounds, dirty = th
+            if check_assertions and (
+                ph != _PH_WAIT_DATA or reg != r or pid_of[tid] != pid
+            ):
+                out_append((self.lbl_viol_ret, VIOLATION))
+                continue
+            if mig:
+                crow = copies[pid]
+                nc = (pid, rstate, wl, crow[r][3])
+                ncopies = (copies[:pid]
+                           + (crow[:r] + (nc,) + crow[r + 1:],)
+                           + copies[pid + 1:])
+            elif aho:
+                ncopies = copies
+            else:
+                crow = copies[pid]
+                nc = (sender, _RS_USED, 0, crow[r][3])
+                ncopies = (copies[:pid]
+                           + (crow[:r] + (nc,) + crow[r + 1:],)
+                           + copies[pid + 1:])
+            nt = (_PH_REMOTE_READY, reg, aho, wdone, rounds, dirty)
+            out_append((
+                lbl_signal[tid][pid],
+                (threads[:tid] + (nt,) + threads[tid + 1:],
+                 ncopies, hq, rq, hqa,
+                 rqa[:pid] + (0,) + rqa[pid + 1:], locks, migs),
+            ))
+
+        if self.config.with_probes:
+            self._probe_moves(state, out)
+        return out
+
+    def codec(self):
+        """The :class:`~repro.jackal.codec.StateCodec` for this topology
+        (built on first use, then cached — its memo tables are shared
+        by every exploration of this model)."""
+        codec = getattr(self, "_codec", None)
+        if codec is None:
+            from repro.jackal.codec import StateCodec
+
+            codec = self._codec = StateCodec(self)
+        return codec
 
     # -- threads -----------------------------------------------------------------
 

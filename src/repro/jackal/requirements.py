@@ -22,7 +22,7 @@ from repro.jackal.actions import ASSERTION_PREFIX, PROBE_LABELS, Labels
 from repro.jackal.model import VIOLATION, JackalModel
 from repro.jackal.params import Config, ProtocolVariant
 from repro.lts.deadlock import find_deadlocks, shortest_trace_to
-from repro.lts.explore import explore
+from repro.lts.engine import explore_fast
 from repro.lts.lts import LTS
 from repro.lts.trace import Trace
 from repro.mucalc.checker import holds
@@ -84,9 +84,14 @@ def build_lts(
     max_states: int | None = None,
     keep_states: bool = False,
 ) -> tuple[JackalModel, LTS]:
-    """Explore the protocol into an explicit LTS."""
+    """Explore the protocol into an explicit LTS.
+
+    Generation goes through the fast engine; BFS numbering is identical
+    to :func:`repro.lts.explore.explore`, so shortest-trace extraction
+    is unaffected.
+    """
     model = build_model(config, variant, probes=probes)
-    lts = explore(model, max_states=max_states, keep_states=keep_states)
+    lts = explore_fast(model, max_states=max_states, keep_states=keep_states)
     return model, lts
 
 

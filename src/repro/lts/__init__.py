@@ -15,6 +15,8 @@ from repro.lts.explore import (
     breadth_first_states,
     ExplorationStats,
 )
+from repro.lts.engine import explore_fast
+from repro.lts.statehash import mix64, state_key64, double_hashes
 from repro.lts.deadlock import DeadlockReport, find_deadlocks, shortest_trace_to
 from repro.lts.trace import Trace, replay
 from repro.lts.reduction import (
@@ -37,8 +39,12 @@ __all__ = [
     "Transition",
     "TransitionSystem",
     "explore",
+    "explore_fast",
     "breadth_first_states",
     "ExplorationStats",
+    "mix64",
+    "state_key64",
+    "double_hashes",
     "DeadlockReport",
     "find_deadlocks",
     "shortest_trace_to",

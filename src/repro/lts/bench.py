@@ -1,0 +1,185 @@
+"""Exploration benchmark harness.
+
+One entry point, :func:`bench_explore`, runs the same transition system
+through the exploration backends — the reference serial explorer, the
+fast engine (tuple-keyed and packed), and the partitioned backend — and
+cross-checks that every path reports identical state, transition and
+deadlock counts before any throughput number is reported. A benchmark
+that silently explores a different LTS is worse than no benchmark.
+
+The resulting report is a plain dict so the CLI can dump it as
+``BENCH_explore.json``:
+
+``system``
+    states / transitions / deadlocks (identical across backends).
+``backends``
+    per-backend ``seconds``, ``states_per_second``, ``max_frontier``
+    (serial paths), and for the distributed backend the partition
+    balance (``per_worker_states``, ``per_worker_batches``,
+    ``imbalance``, ``batches``).
+``speedup``
+    each backend's throughput relative to the serial reference.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+
+from repro.lts.distributed import distributed_explore
+from repro.lts.engine import explore_fast
+from repro.lts.explore import ExplorationStats, TransitionSystem, explore
+
+#: backends in report order
+BACKENDS = ("serial", "engine", "engine-packed", "distributed")
+
+
+class BenchMismatchError(AssertionError):
+    """Backends disagreed on the explored system — timings are void."""
+
+
+def _deadlocks(lts) -> int:
+    return len(lts.deadlock_states())
+
+
+def bench_explore(
+    system: TransitionSystem,
+    *,
+    backends: tuple[str, ...] = BACKENDS,
+    n_workers: int = 2,
+    repeats: int = 1,
+    profile: bool = False,
+) -> dict:
+    """Benchmark exploration backends on ``system`` and cross-check them.
+
+    Parameters
+    ----------
+    backends:
+        Subset of :data:`BACKENDS` to run (``"serial"`` is always run —
+        it is the correctness reference and the speedup denominator).
+    n_workers:
+        Partition count for the distributed backend.
+    repeats:
+        Timed runs per backend; the best (minimum-time) run is
+        reported, the standard guard against scheduler noise.
+    profile:
+        Additionally run the engine under :mod:`cProfile` and include
+        the top functions by cumulative time in the report.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    report: dict = {"backends": {}, "speedup": {}}
+
+    # build the per-round run list; rounds interleave the backends so
+    # background load perturbs all of them equally, and the best
+    # (minimum-time) round per backend is reported
+    runs = [("serial", lambda s: explore(system, stats=s))]
+    if "engine" in backends:
+        runs.append(("engine", lambda s: explore_fast(system, stats=s)))
+    if "engine-packed" in backends and getattr(system, "codec", None):
+        runs.append(
+            ("engine-packed",
+             lambda s: explore_fast(system, stats=s, packed=True))
+        )
+    best: dict = {}
+    results: dict = {}
+    best_dist = None
+    for _ in range(repeats):
+        for name, run in runs:
+            st = ExplorationStats()
+            lts = run(st)
+            if name not in best or st.seconds < best[name].seconds:
+                best[name], results[name] = st, lts
+        if "distributed" in backends:
+            _lts, dstats = distributed_explore(
+                system, n_workers=n_workers, backend="process"
+            )
+            if best_dist is None or dstats.seconds < best_dist.seconds:
+                best_dist = dstats
+
+    ref = results["serial"]
+    counts = (ref.n_states, ref.n_transitions, _deadlocks(ref))
+    report["system"] = {
+        "states": counts[0],
+        "transitions": counts[1],
+        "deadlocks": counts[2],
+    }
+
+    def _check(name, states, transitions, deadlocks):
+        if (states, transitions, deadlocks) != counts:
+            raise BenchMismatchError(
+                f"backend {name!r} explored ({states}, {transitions}, "
+                f"{deadlocks}); serial reference found {counts}"
+            )
+
+    for name, _run in runs:
+        st, lts = best[name], results[name]
+        _check(name, lts.n_states, lts.n_transitions, _deadlocks(lts))
+        report["backends"][name] = {
+            "seconds": st.seconds,
+            "states_per_second": st.states_per_second(),
+            "max_frontier": st.max_frontier,
+        }
+    serial_sps = report["backends"]["serial"]["states_per_second"]
+
+    if best_dist is not None:
+        _check("distributed", best_dist.states, best_dist.transitions,
+               best_dist.deadlocks)
+        report["backends"]["distributed"] = {
+            "seconds": best_dist.seconds,
+            "states_per_second": (
+                best_dist.states / best_dist.seconds
+                if best_dist.seconds > 0 else 0.0
+            ),
+            "n_workers": n_workers,
+            "per_worker_states": best_dist.per_worker_states,
+            "per_worker_batches": best_dist.per_worker_batches,
+            "imbalance": best_dist.imbalance(),
+            "batches": best_dist.batches,
+        }
+
+    for name, row in report["backends"].items():
+        report["speedup"][name] = (
+            row["states_per_second"] / serial_sps if serial_sps else 0.0
+        )
+
+    if profile:
+        prof = cProfile.Profile()
+        prof.enable()
+        explore_fast(system)
+        prof.disable()
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(15)
+        report["profile"] = buf.getvalue()
+
+    report["environment"] = {
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+    }
+    return report
+
+
+def format_bench(report: dict) -> str:
+    """Render a :func:`bench_explore` report as an aligned text table."""
+    sysrow = report["system"]
+    lines = [
+        f"system: {sysrow['states']} states, {sysrow['transitions']} "
+        f"transitions, {sysrow['deadlocks']} deadlocks",
+        f"{'backend':<15} {'seconds':>9} {'states/s':>12} {'speedup':>9}",
+    ]
+    for name, row in report["backends"].items():
+        lines.append(
+            f"{name:<15} {row['seconds']:>9.3f} "
+            f"{row['states_per_second']:>12.0f} "
+            f"{report['speedup'][name]:>8.2f}x"
+        )
+    dist = report["backends"].get("distributed")
+    if dist:
+        lines.append(
+            f"distributed balance: imbalance={dist['imbalance']:.3f} "
+            f"states/worker={dist['per_worker_states']} "
+            f"batches/worker={dist['per_worker_batches']}"
+        )
+    return "\n".join(lines)

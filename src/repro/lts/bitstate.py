@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.lts.explore import TransitionSystem
+from repro.lts.statehash import double_hashes, state_key64
 
 
 @dataclass
@@ -57,12 +58,14 @@ class BitstateResult:
 
 
 def _hashes(state: Hashable, k: int, nbits: int) -> list[int]:
-    """k double-hashed bit positions for ``state``."""
-    h1 = hash(state)
-    h2 = hash((state, 0x9E3779B97F4A7C15))
-    # force h2 odd so the stride cycles through the whole table
-    h2 |= 1
-    return [((h1 + i * h2) & 0x7FFFFFFFFFFFFFFF) % nbits for i in range(k)]
+    """k double-hashed bit positions for ``state``.
+
+    The built-in hash is run through the splitmix64 finaliser before
+    double hashing: raw tuple hashes of small ints leave low bits far
+    too regular for a Bloom schema, which inflates the effective
+    collision (omission) rate.
+    """
+    return double_hashes(state_key64(state), k, nbits)
 
 
 def bitstate_explore(

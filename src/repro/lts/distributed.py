@@ -7,18 +7,39 @@ its partition, keeps a local visited set for them, and forwards newly
 discovered states to their owners.
 
 This module reproduces that architecture at laptop scale with
-``multiprocessing`` workers (one OS process per cluster node) in a
-bulk-synchronous level-by-level schedule:
+``multiprocessing`` workers (one OS process per cluster node). Two
+backends are provided:
 
-1. the coordinator routes the current frontier to state owners;
-2. each owner deduplicates against its local visited set and expands the
-   genuinely new states;
-3. successor states flow back and become the next frontier.
+``"process"``
+    Real worker processes in a **pipelined** schedule: the coordinator
+    routes work to state owners the moment it arrives, each owner
+    deduplicates against its local visited set, expands, partitions the
+    successors by owner *worker-side*, and sends them straight back for
+    routing. There is no per-level barrier — a fast partition keeps
+    expanding while a slow one catches up — and termination is detected
+    by outstanding-message counting: every work batch put on the wire
+    increments a counter, every completion message decrements it, and
+    the sweep is finished exactly when the counter is zero and no
+    routed states are pending. (With all traffic flowing through the
+    coordinator, the counter is a degenerate—and exact—form of
+    Mattern's credit scheme; no idle-token round is needed.)
 
-Two backends are provided: ``"process"`` (real worker processes — the
-cluster stand-in) and ``"inline"`` (the same partitioned algorithm run
-sequentially in-process; deterministic, used for testing the routing
-logic and on platforms where spawning is expensive).
+``"inline"``
+    The same partitioned algorithm run sequentially in-process in the
+    classical bulk-synchronous level order (deterministic; used for
+    testing the routing logic and on platforms where spawning is
+    expensive).
+
+States travel between processes as packed codec keys when the system
+provides a :meth:`codec` (as :class:`~repro.jackal.model.JackalModel`
+does): a ~20-byte integer per state instead of a pickled tuple tree,
+with the encode/decode cost carried by the workers, in parallel.
+
+Ownership hashes are routed through the splitmix64 finaliser
+(:func:`repro.lts.statehash.mix64`): protocol states are nested tuples
+of small ints whose raw ``hash()`` clusters badly modulo a small worker
+count, and a skewed partition turns one worker into the whole sweep's
+critical path (see ``DistributedStats.imbalance``).
 
 For exact LTS construction the transitions can be collected
 (``collect=True``); for large sweeps the default is a count-only run,
@@ -35,6 +56,14 @@ from typing import Hashable
 from repro.errors import ExplorationLimitError
 from repro.lts.explore import TransitionSystem
 from repro.lts.lts import LTS
+from repro.lts.statehash import mix64
+
+#: states per work batch (packed keys are ~20 bytes, so a batch fits
+#: comfortably in an OS pipe buffer and never blocks the coordinator)
+_BATCH = 256
+#: work batches a worker may have in flight; >1 keeps its inbox warm
+#: while a completion message is in transit (the pipelining window)
+_WINDOW = 4
 
 
 @dataclass
@@ -51,8 +80,15 @@ class DistributedStats:
     per_worker_states:
         Visited-set size per worker; the balance of this vector is the
         classical health metric of hash partitioning.
+    per_worker_batches:
+        Work batches each worker expanded (pipelined backend only);
+        measures scheduling balance as opposed to storage balance.
     levels:
-        Number of BFS levels processed.
+        Bulk-synchronous backends: BFS levels processed. Pipelined
+        backend: the maximum routing depth, an upper bound on the BFS
+        depth.
+    batches:
+        Total work batches routed (pipelined backend only).
     seconds:
         Wall-clock duration.
     """
@@ -61,7 +97,9 @@ class DistributedStats:
     transitions: int = 0
     deadlocks: int = 0
     per_worker_states: list[int] = field(default_factory=list)
+    per_worker_batches: list[int] = field(default_factory=list)
     levels: int = 0
+    batches: int = 0
     seconds: float = 0.0
 
     def imbalance(self) -> float:
@@ -73,70 +111,118 @@ class DistributedStats:
 
 
 def _owner(state: Hashable, n: int) -> int:
-    """The worker owning ``state`` (stable within one run)."""
-    return hash(state) % n
+    """The worker owning ``state`` (stable within one run).
+
+    ``state`` may equally be a packed codec key. The built-in hash is
+    routed through splitmix64 before the modulo: raw hashes of
+    small-int tuples (and of packed keys, which are plain ints) carry
+    strong low-bit structure that ``% n`` would fold into skewed
+    partitions.
+    """
+    return mix64(hash(state)) % n
 
 
-def _expand_batch(system, batch, visited, collect):
+def _expand_batch(system, batch, visited, collect, decode=None):
     """Owner-side work: dedup ``batch``, expand new states.
 
-    Returns (new_successor_states, n_transitions, n_deadlocks,
-    collected_transitions).
+    ``batch`` holds packed keys when ``decode`` is given, states
+    otherwise. Returns ``(new_successor_states, n_transitions,
+    n_deadlocks, collected_transitions)``; successors (and collected
+    endpoints) are packed through ``encode`` by the caller's
+    partitioning step, not here.
     """
     out_states = []
     n_trans = 0
     n_dead = 0
     collected = []
-    for state in batch:
-        if state in visited:
+    succ = getattr(system, "successors_fast", None) or system.successors
+    for item in batch:
+        if item in visited:
             continue
-        visited.add(state)
-        succs = list(system.successors(state))
+        visited.add(item)
+        state = item if decode is None else decode(item)
+        succs = succ(state)
         n_trans += len(succs)
         if not succs:
             n_dead += 1
         for label, nxt in succs:
             out_states.append(nxt)
             if collect:
-                collected.append((state, label, nxt))
+                collected.append((item, label, nxt))
     return out_states, n_trans, n_dead, collected
 
 
-def _worker_main(system, n_workers, inbox, outbox, collect):
-    """Worker process loop: expand batches until told to stop."""
+def _partition(states, n_workers, encode=None):
+    """Bucket ``states`` by owner, packing through ``encode`` if given."""
+    buckets: list[list] = [[] for _ in range(n_workers)]
+    if encode is None:
+        for s in states:
+            buckets[_owner(s, n_workers)].append(s)
+    else:
+        for s in states:
+            k = encode(s)
+            buckets[_owner(k, n_workers)].append(k)
+    return buckets
+
+
+def _worker_main(system, n_workers, wid, inbox, outbox, collect, packed):
+    """Worker process loop: expand routed batches until told to stop.
+
+    Each ``("work", depth, batch)`` message is answered with exactly
+    one ``("done", ...)`` message — the invariant the coordinator's
+    outstanding-message termination count rests on.
+    """
+    codec = system.codec() if packed else None
+    decode = codec.decode if codec else None
+    encode = codec.encode if codec else None
     visited: set = set()
     while True:
         msg = inbox.get()
         if msg is None:
-            outbox.put(("bye", len(visited)))
+            outbox.put(("bye", wid, len(visited)))
             return
-        batch = msg
+        _tag, depth, batch = msg
         new_states, n_trans, n_dead, collected = _expand_batch(
-            system, batch, visited, collect
+            system, batch, visited, collect, decode
         )
-        outbox.put(("level", new_states, n_trans, n_dead, collected))
+        buckets = _partition(new_states, n_workers, encode)
+        if collect and encode is not None:
+            collected = [(src, lab, encode(d)) for src, lab, d in collected]
+        outbox.put(
+            ("done", wid, depth, buckets, n_trans, n_dead,
+             len(visited), collected)
+        )
 
 
-def _inline_sweep(system, n_workers, collect, max_states, stats):
-    """The partitioned algorithm run sequentially (test backend)."""
+def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
+    """The partitioned algorithm run sequentially (test backend).
+
+    Bulk-synchronous by construction: each iteration of the outer loop
+    is one BFS level, which keeps the backend deterministic and its
+    ``levels`` statistic exact.
+    """
+    codec = system.codec() if packed else None
+    decode = codec.decode if codec else None
+    encode = codec.encode if codec else None
     visited: list[set] = [set() for _ in range(n_workers)]
     init = system.initial_state()
+    init_item = init if encode is None else encode(init)
     frontier = [init]
     transitions = []
     n_trans = 0
     n_dead = 0
     levels = 0
     while frontier:
-        batches: list[list] = [[] for _ in range(n_workers)]
-        for s in frontier:
-            batches[_owner(s, n_workers)].append(s)
+        batches = _partition(frontier, n_workers, encode)
         frontier = []
         for w in range(n_workers):
             new_states, t, d, coll = _expand_batch(
-                system, batches[w], visited[w], collect
+                system, batches[w], visited[w], collect, decode
             )
             n_trans += t
             n_dead += d
+            if collect and encode is not None:
+                coll = [(src, lab, encode(dd)) for src, lab, dd in coll]
             transitions.extend(coll)
             frontier.extend(new_states)
         levels += 1
@@ -148,18 +234,31 @@ def _inline_sweep(system, n_workers, collect, max_states, stats):
     stats.deadlocks = n_dead
     stats.per_worker_states = [len(v) for v in visited]
     stats.levels = levels
-    return transitions, init
+    return transitions, init_item
 
 
-def _process_sweep(system, n_workers, collect, max_states, stats):
-    """The partitioned algorithm with real worker processes."""
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+def _process_sweep(system, n_workers, collect, max_states, stats, packed):
+    """The pipelined partitioned sweep with real worker processes.
+
+    The coordinator keeps per-owner pending queues and routes bounded
+    batches to any worker with spare window capacity; it never waits
+    for a level to finish. ``outstanding`` counts work batches on the
+    wire (incremented per dispatch, decremented per completion);
+    ``outstanding == 0`` with every pending queue empty is exact
+    quiescence, because workers only create work as part of answering
+    a batch the coordinator counted.
+    """
+    ctx = (
+        mp.get_context("fork")
+        if "fork" in mp.get_all_start_methods()
+        else mp.get_context()
+    )
     inboxes = [ctx.SimpleQueue() for _ in range(n_workers)]
     outbox = ctx.SimpleQueue()
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(system, n_workers, inboxes[w], outbox, collect),
+            args=(system, n_workers, w, inboxes[w], outbox, collect, packed),
             daemon=True,
         )
         for w in range(n_workers)
@@ -167,52 +266,87 @@ def _process_sweep(system, n_workers, collect, max_states, stats):
     for p in workers:
         p.start()
 
+    codec = system.codec() if packed else None
     init = system.initial_state()
-    frontier = [init]
+    init_item = init if codec is None else codec.encode(init)
+
+    pending: list[list] = [[] for _ in range(n_workers)]
+    pending[_owner(init_item, n_workers)].append((0, [init_item]))
+    inflight = [0] * n_workers
+    outstanding = 0
+    sizes = [0] * n_workers
+    n_batches = [0] * n_workers
     transitions = []
     n_trans = 0
     n_dead = 0
-    levels = 0
-    total_states_upper = 0
+    max_depth = 0
+    total_batches = 0
+    limit_hit = False
     try:
-        while frontier:
-            batches: list[list] = [[] for _ in range(n_workers)]
-            for s in frontier:
-                batches[_owner(s, n_workers)].append(s)
+        while True:
             for w in range(n_workers):
-                inboxes[w].put(batches[w])
-            frontier = []
-            for _ in range(n_workers):
-                msg = outbox.get()
-                _tag, new_states, t, d, coll = msg
-                n_trans += t
-                n_dead += d
-                transitions.extend(coll)
-                frontier.extend(new_states)
-            levels += 1
-            total_states_upper += sum(len(b) for b in batches)
-            if max_states is not None and total_states_upper > 4 * max_states:
-                raise ExplorationLimitError(f"state limit {max_states} exceeded")
+                queue = pending[w]
+                while queue and inflight[w] < _WINDOW:
+                    depth, batch = queue[0]
+                    if len(batch) > _BATCH:
+                        chunk, rest = batch[:_BATCH], batch[_BATCH:]
+                        queue[0] = (depth, rest)
+                    else:
+                        chunk = batch
+                        queue.pop(0)
+                    inboxes[w].put(("work", depth, chunk))
+                    inflight[w] += 1
+                    outstanding += 1
+                    total_batches += 1
+            if outstanding == 0:
+                break  # nothing in flight, nothing pending: quiescent
+            msg = outbox.get()
+            _tag, wid, depth, buckets, t, d, n_visited, coll = msg
+            inflight[wid] -= 1
+            outstanding -= 1
+            n_batches[wid] += 1
+            sizes[wid] = n_visited
+            n_trans += t
+            n_dead += d
+            transitions.extend(coll)
+            max_depth = max(max_depth, depth)
+            for w, bucket in enumerate(buckets):
+                if bucket:
+                    queue = pending[w]
+                    # coalesce with the tail entry of the same depth so
+                    # trickling successor buckets form full batches
+                    if (
+                        queue
+                        and queue[-1][0] == depth + 1
+                        and len(queue[-1][1]) < _BATCH
+                    ):
+                        queue[-1] = (depth + 1, queue[-1][1] + bucket)
+                    else:
+                        queue.append((depth + 1, bucket))
+            if max_states is not None and sum(sizes) > max_states:
+                limit_hit = True
+                break
     finally:
         for w in range(n_workers):
             inboxes[w].put(None)
-        sizes = [0] * n_workers
-        got = 0
-        for _ in range(n_workers):
+        byes = 0
+        while byes < n_workers:
             msg = outbox.get()
             if msg[0] == "bye":
-                sizes[got] = msg[1]
-                got += 1
+                sizes[msg[1]] = msg[2]
+                byes += 1
         for p in workers:
             p.join(timeout=10)
     stats.states = sum(sizes)
     stats.transitions = n_trans
     stats.deadlocks = n_dead
     stats.per_worker_states = sizes
-    stats.levels = levels
-    if max_states is not None and stats.states > max_states:
+    stats.per_worker_batches = n_batches
+    stats.levels = max_depth + 1
+    stats.batches = total_batches
+    if limit_hit or (max_states is not None and stats.states > max_states):
         raise ExplorationLimitError(f"state limit {max_states} exceeded")
-    return transitions, init
+    return transitions, init_item
 
 
 def distributed_explore(
@@ -222,8 +356,9 @@ def distributed_explore(
     backend: str = "process",
     collect: bool = False,
     max_states: int | None = None,
+    packed: bool | None = None,
 ) -> tuple[LTS | None, DistributedStats]:
-    """Partitioned breadth-first sweep of ``system``.
+    """Partitioned sweep of ``system`` (pipelined when ``"process"``).
 
     Parameters
     ----------
@@ -233,14 +368,18 @@ def distributed_explore(
     n_workers:
         Number of partitions (cluster nodes in the paper's setting).
     backend:
-        ``"process"`` for real worker processes, ``"inline"`` for the
-        deterministic sequential rendition of the same algorithm.
+        ``"process"`` for pipelined worker processes, ``"inline"`` for
+        the deterministic bulk-synchronous in-process rendition.
     collect:
         When true, transitions are shipped back and an explicit
         :class:`LTS` is assembled (only sensible for small systems); the
         returned LTS is otherwise ``None``.
     max_states:
         Abort when the visited total exceeds this bound.
+    packed:
+        Ship/store packed codec keys instead of state tuples. ``None``
+        (default) auto-enables when the system provides a ``codec()``;
+        ``True`` requires one; ``False`` forces tuple shipping.
 
     Returns
     -------
@@ -251,22 +390,28 @@ def distributed_explore(
         raise ValueError("n_workers must be >= 1")
     if backend not in ("process", "inline"):
         raise ValueError(f"unknown backend {backend!r}")
+    if packed is None:
+        packed = getattr(system, "codec", None) is not None
+    elif packed and getattr(system, "codec", None) is None:
+        raise ValueError("packed=True needs a system with a codec()")
     stats = DistributedStats()
     t0 = time.perf_counter()
     sweep = _inline_sweep if backend == "inline" else _process_sweep
-    transitions, init = sweep(system, n_workers, collect, max_states, stats)
+    transitions, init_item = sweep(
+        system, n_workers, collect, max_states, stats, packed
+    )
     stats.seconds = time.perf_counter() - t0
 
     if not collect:
         return None, stats
     # assemble an explicit LTS; BFS renumbering for a canonical result
-    index: dict[Hashable, int] = {init: 0}
+    index: dict[Hashable, int] = {init_item: 0}
     adj: dict[Hashable, list[tuple[str, Hashable]]] = {}
     for s, label, d in transitions:
         adj.setdefault(s, []).append((label, d))
     lts = LTS(initial=0)
     lts.ensure_states(1)
-    frontier = [init]
+    frontier = [init_item]
     while frontier:
         nxt = []
         for s in frontier:

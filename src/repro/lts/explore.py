@@ -126,6 +126,9 @@ def explore(
                         if stats is not None:
                             stats.states = len(index)
                             stats.transitions = lts.n_transitions
+                            stats.max_frontier = max(
+                                max_frontier, len(next_frontier)
+                            )
                             stats.seconds = time.perf_counter() - t0
                             stats.depth = depth
                             stats.level_sizes = level_sizes

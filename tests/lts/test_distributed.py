@@ -89,3 +89,99 @@ def test_imbalance_metric():
     s2 = DistributedStats(states=100, per_worker_states=[75, 25])
     assert s2.imbalance() == 1.5
     assert DistributedStats().imbalance() == 1.0
+
+
+def _partition_imbalance(keys, n, owner_of):
+    counts = [0] * n
+    for k in keys:
+        counts[owner_of(k, n)] += 1
+    return max(counts) / (sum(counts) / n)
+
+
+def test_owner_mixing_improves_imbalance():
+    """The splitmix64-mixed owner beats raw ``hash(state) % n``.
+
+    Packed codec keys are the worst case for the raw scheme: every
+    ordinary key carries a tag bit (always-odd integers), so
+    ``hash(k) % 2**m`` abandons whole partitions. The mixed owner must
+    spread the same keys almost evenly.
+    """
+    from repro.jackal import Config, JackalModel
+    from repro.lts.distributed import _owner
+    from repro.lts.explore import breadth_first_states
+
+    model = JackalModel(
+        Config(threads_per_processor=(1, 1), rounds=1, with_probes=False)
+    )
+    codec = model.codec()
+    keys = [codec.encode(s) for s in breadth_first_states(model)]
+
+    def raw_owner(k, n):
+        return hash(k) % n
+
+    for n in (2, 4):
+        raw = _partition_imbalance(keys, n, raw_owner)
+        mixed = _partition_imbalance(keys, n, _owner)
+        assert mixed < raw  # the mixer strictly improves the partition
+        assert mixed < 1.25
+        assert raw > 1.5  # raw hashing really is pathological here
+
+
+@pytest.mark.parametrize(
+    "tpp,rounds",
+    [((1, 1), 1), ((2,), 1), ((1, 1), 2)],
+)
+def test_inline_backend_matches_serial_on_jackal(tpp, rounds):
+    from repro.jackal import Config, JackalModel
+
+    model = JackalModel(
+        Config(threads_per_processor=tpp, rounds=rounds, with_probes=False)
+    )
+    exact = explore(model)
+    _lts, stats = distributed_explore(model, n_workers=3, backend="inline")
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("packed", [True, False])
+def test_process_backend_matches_serial_on_jackal(packed):
+    from repro.jackal import Config, JackalModel
+
+    model = JackalModel(
+        Config(threads_per_processor=(1, 1), rounds=1, with_probes=False)
+    )
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", packed=packed
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+    assert sum(stats.per_worker_batches) == stats.batches > 0
+
+
+def test_packed_requires_codec(chain_system):
+    with pytest.raises(ValueError):
+        distributed_explore(chain_system, backend="inline", packed=True)
+
+
+def test_packed_auto_detection(chain_system):
+    from repro.jackal import Config, JackalModel
+
+    # systems without a codec fall back to tuple shipping silently
+    _lts, stats = distributed_explore(
+        chain_system, n_workers=2, backend="inline"
+    )
+    assert stats.states == 4
+    # Jackal models pick up their codec automatically
+    model = JackalModel(
+        Config(threads_per_processor=(2,), rounds=1, with_probes=False)
+    )
+    lts, _stats = distributed_explore(
+        model, n_workers=2, backend="inline", collect=True
+    )
+    exact = explore(model)
+    assert lts.n_states == exact.n_states
+    assert minimize_strong(lts) == minimize_strong(exact)

@@ -52,6 +52,17 @@ def test_max_states_limit():
     assert ei.value.partial.n_states >= 10
 
 
+def test_max_states_limit_fills_stats():
+    # regression: the limit path used to leave stats.max_frontier at 0
+    st = ExplorationStats()
+    with pytest.raises(ExplorationLimitError):
+        explore(Grid(50, 50), max_states=10, stats=st)
+    assert st.states > 10
+    assert st.max_frontier > 0
+    assert st.transitions > 0
+    assert st.seconds > 0
+
+
 def test_max_depth_underapproximation():
     l = explore(Grid(10, 10), max_depth=2)
     # depth 0,1,2 of the grid: 1 + 2 + 3 states
