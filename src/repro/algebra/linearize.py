@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Iterable
 
 from repro.errors import SpecificationError
 from repro.algebra.composition import Comm

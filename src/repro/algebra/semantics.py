@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import SpecificationError
-from repro.algebra.composition import Comm, Encap, Hide, Par, Rename
+from repro.algebra.composition import Encap, Hide, Par, Rename
 from repro.algebra.spec import Spec
 from repro.algebra.terms import (
     Act,
@@ -94,6 +94,8 @@ class SpecSystem:
 
     def __init__(self, spec: Spec, init: ProcessTerm):
         self.spec = spec
+        #: the specification-level initial term, kept for static analysis
+        self.init_term = init
         spec.validate(extra_terms=[init])
         self._init_state = self.close(init, {})
 

@@ -90,7 +90,7 @@ def explain_label(label: str) -> str:
 def explain_trace(trace: Trace | list[str]) -> list[str]:
     """Explain every step of a trace."""
     labels = trace.labels if isinstance(trace, Trace) else trace
-    return [explain_label(l) for l in labels]
+    return [explain_label(lab) for lab in labels]
 
 
 def _context(model, state) -> str:

@@ -22,7 +22,7 @@ class Simulator:
     --------
     >>> from repro.jackal import JackalModel, CONFIG_1
     >>> sim = Simulator(JackalModel(CONFIG_1))
-    >>> sorted(l for l, _ in sim.enabled())[:1]
+    >>> sorted(lab for lab, _ in sim.enabled())[:1]
     ['homequeue_empty']
     >>> sim.step("write(t0)")  # doctest: +ELLIPSIS
     'write(t0)'
@@ -49,7 +49,7 @@ class Simulator:
 
     def enabled_labels(self) -> list[str]:
         """Enabled labels (with duplicates, in successor order)."""
-        return [l for l, _ in self.enabled()]
+        return [lab for lab, _ in self.enabled()]
 
     def history(self) -> Trace:
         """The trace taken so far (state-annotated)."""
@@ -82,18 +82,18 @@ class Simulator:
                 )
             label, nxt = moves[choice]
         else:
-            exact = [(l, s) for l, s in moves if l == choice]
+            exact = [(lab, s) for lab, s in moves if lab == choice]
             if not exact:
-                exact = [(l, s) for l, s in moves if l.startswith(choice)]
+                exact = [(lab, s) for lab, s in moves if lab.startswith(choice)]
             if not exact:
                 raise TraceError(
                     f"label {choice!r} not enabled; enabled: "
-                    f"{sorted({l for l, _ in moves})}"
+                    f"{sorted({lab for lab, _ in moves})}"
                 )
             firsts = {s for _l, s in exact}
-            if len(firsts) > 1 and len({l for l, _ in exact}) > 1:
+            if len(firsts) > 1 and len({lab for lab, _ in exact}) > 1:
                 raise TraceError(
-                    f"prefix {choice!r} ambiguous: {sorted({l for l, _ in exact})}"
+                    f"prefix {choice!r} ambiguous: {sorted({lab for lab, _ in exact})}"
                 )
             label, nxt = exact[0]
         self._states.append(nxt)
@@ -114,8 +114,8 @@ class Simulator:
 
     def run(self, labels: Sequence[str]) -> Trace:
         """Replay a whole label sequence from the current state."""
-        for l in labels:
-            self.step(l)
+        for lab in labels:
+            self.step(lab)
         return self.history()
 
     def random_walk(self, steps: int, *, seed: int = 0) -> Trace:

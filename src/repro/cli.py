@@ -21,6 +21,7 @@ import sys
 
 from repro.analysis.explain import narrate_trace
 from repro.analysis.reporting import Table
+from repro.errors import ReproError
 from repro.jackal.params import CONFIG_1, CONFIG_2, CONFIG_3, Config, ProtocolVariant
 from repro.jackal.requirements import (
     build_lts,
@@ -40,6 +41,7 @@ _VARIANTS = {
     "error1": ProtocolVariant.error1,
     "error2": ProtocolVariant.error2,
     "no-migration": ProtocolVariant.no_migration,
+    "alf": ProtocolVariant.alf,
 }
 _CHECKS = {
     "1": check_requirement_1,
@@ -208,6 +210,35 @@ def _cmd_litmus(_args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.mucalc.parser import parse_formula
+    from repro.staticcheck import RULES, default_formulas, run_lint
+
+    if args.rules:
+        for rule, text in sorted(RULES.items()):
+            print(f"{rule}  {text}")
+        return 0
+    cfg = _config(args)
+    variant = _VARIANTS[args.variant]()
+    formulas = default_formulas(cfg)
+    for spec in args.formula:
+        name, _, text = spec.partition("=")
+        if not text:
+            name, text = f"<cli:{spec}>", spec
+        formulas.append((name, parse_formula(text)))
+    report = run_lint(
+        cfg, variant, formulas=formulas, suppress=tuple(args.suppress)
+    )
+    rendered = report.render_json() if args.json else report.render_text()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"written: {args.out}")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
 def _cmd_formula(args) -> int:
     from repro.mucalc.checker import holds
     from repro.mucalc.parser import parse_formula
@@ -282,6 +313,31 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("litmus", help="JMM conformance of the DSM runtime")
     p.set_defaults(fn=_cmd_litmus)
 
+    p = sub.add_parser(
+        "lint", help="static protocol analysis (no state-space exploration)"
+    )
+    p.add_argument("--config", choices=sorted(_CONFIGS), default="1",
+                   help="paper configuration (default 1)")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="fixed",
+                   help="protocol variant (default fixed)")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="write+flush rounds per thread (default 1)")
+    p.add_argument("--cyclic", action="store_true",
+                   help="cyclic threads, as in the paper's muCRL spec")
+    p.add_argument("--json", action="store_true",
+                   help="render the report as JSON")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the report to this path instead of stdout")
+    p.add_argument("--suppress", action="append", default=[],
+                   metavar="RULE", help="drop findings of this rule id "
+                   "(repeatable, e.g. --suppress JKL202)")
+    p.add_argument("--formula", action="append", default=[],
+                   metavar="[NAME=]TEXT", help="also cross-check the "
+                   "labels of this mu-calculus formula (repeatable)")
+    p.add_argument("--rules", action="store_true",
+                   help="list the rule catalogue and exit")
+    p.set_defaults(fn=_cmd_lint)
+
     p = sub.add_parser("formula", help="check a mu-calculus formula")
     _add_model_args(p)
     p.add_argument(
@@ -295,7 +351,16 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_formula)
 
     args = ap.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # library failures (bad parameters, malformed specs/formulas,
+        # exploration limits) are reported, not tracebacked; exit code 2
+        # distinguishes them from verification verdicts (0/1)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro ... | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -250,7 +250,7 @@ class JackalModel:
             return False
         if any(m != 0 for row in migs for m in row):
             return False
-        return all(l == (0, 0, 0, 0, 0, 0) for l in locks)
+        return all(lab == (0, 0, 0, 0, 0, 0) for lab in locks)
 
     def _violate(self, name: str):
         return (Labels.assertion(name), VIOLATION)
@@ -1401,7 +1401,7 @@ class JackalModel:
         if any_copy:
             out.append((C_COPY, state))
         if (
-            all(l[_SRV_H] == 0 and l[_FLT_H] == 0 and l[_FLS_H] == 0 for l in locks)
+            all(lab[_SRV_H] == 0 and lab[_FLT_H] == 0 and lab[_FLS_H] == 0 for lab in locks)
             and not any(hqa)
             and not any(rqa)
         ):

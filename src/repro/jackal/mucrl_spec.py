@@ -30,12 +30,10 @@ from repro.algebra import (
     Call,
     Comm,
     Cond,
-    Delta,
     DVar,
     Encap,
     FiniteSort,
     Fn,
-    Par,
     ProcessDef,
     Seq,
     Spec,

@@ -184,7 +184,7 @@ def check_requirement_2(
         _model, lts = build_lts(
             config, variant, probes=False, max_states=max_states
         )
-    violated = [l for l in lts.labels if l.startswith(ASSERTION_PREFIX)]
+    violated = [lab for lab in lts.labels if lab.startswith(ASSERTION_PREFIX)]
     trace = None
     if violated:
         # shortest trace to any state enabling an assertion violation
@@ -359,9 +359,9 @@ def check_requirement_4(
         from repro.lts.cycles import find_lasso_avoiding
 
         progress = [
-            l
-            for l in lts.labels
-            if l.startswith(("writeover", "flushover"))
+            lab
+            for lab in lts.labels
+            if lab.startswith(("writeover", "flushover"))
         ]
         lasso = find_lasso_avoiding(lts, progress)
         if lasso is not None:

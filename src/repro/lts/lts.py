@@ -153,8 +153,8 @@ class LTS:
     def transitions(self) -> Iterator[Transition]:
         """Iterate over all transitions in insertion order."""
         labels = self.labels
-        for s, l, d in zip(self._src, self._lbl, self._dst):
-            yield Transition(s, labels[l], d)
+        for s, lab, d in zip(self._src, self._lbl, self._dst):
+            yield Transition(s, labels[lab], d)
 
     def transition_arrays(self) -> tuple[array, array, array]:
         """Raw parallel ``array('i')`` columns ``(src, label_id, dst)``
@@ -206,7 +206,7 @@ class LTS:
         observability probe self-loops (``c_home`` etc.) which exist only
         for the benefit of the model checker.
         """
-        ignore = {self._label_index[l] for l in ignore_labels if l in self._label_index}
+        ignore = {self._label_index[lab] for lab in ignore_labels if lab in self._label_index}
         fwd = self._forward_index()
         dead = []
         for s in range(self._n_states):
@@ -217,8 +217,8 @@ class LTS:
     def label_counts(self) -> dict[str, int]:
         """Map each label to its number of transitions."""
         counts = [0] * len(self.labels)
-        for l in self._lbl:
-            counts[l] += 1
+        for lab in self._lbl:
+            counts[lab] += 1
         return {lab: c for lab, c in zip(self.labels, counts)}
 
     # -- transformations -----------------------------------------------
@@ -228,14 +228,14 @@ class LTS:
         out = LTS(self.initial)
         out.ensure_states(self._n_states)
         labels = self.labels
-        for s, l, d in zip(self._src, self._lbl, self._dst):
-            lab = labels[l]
+        for s, lab, d in zip(self._src, self._lbl, self._dst):
+            lab = labels[lab]
             out.add_transition(s, mapping.get(lab, lab), d)
         return out
 
     def hidden(self, hide: Iterable[str]) -> "LTS":
         """A copy where every label in ``hide`` becomes :data:`TAU`."""
-        return self.relabelled({l: TAU for l in hide})
+        return self.relabelled({lab: TAU for lab in hide})
 
     def restricted_to_reachable(self) -> "LTS":
         """A copy containing only states reachable from the initial state."""
@@ -253,9 +253,9 @@ class LTS:
         out = LTS(remap[self.initial])
         out.ensure_states(len(remap))
         labels = self.labels
-        for s, l, d in zip(self._src, self._lbl, self._dst):
+        for s, lab, d in zip(self._src, self._lbl, self._dst):
             if s in remap and d in remap:
-                out.add_transition(remap[s], labels[l], remap[d])
+                out.add_transition(remap[s], labels[lab], remap[d])
         for old, meta in self.state_meta.items():
             if old in remap:
                 out.state_meta[remap[old]] = meta
@@ -276,11 +276,11 @@ class LTS:
         if self._n_states != other._n_states or self.initial != other.initial:
             return False
         mine = sorted(
-            (s, self.labels[l], d) for s, l, d in zip(self._src, self._lbl, self._dst)
+            (s, self.labels[lab], d) for s, lab, d in zip(self._src, self._lbl, self._dst)
         )
         theirs = sorted(
-            (s, other.labels[l], d)
-            for s, l, d in zip(other._src, other._lbl, other._dst)
+            (s, other.labels[lab], d)
+            for s, lab, d in zip(other._src, other._lbl, other._dst)
         )
         return mine == theirs
 

@@ -43,7 +43,7 @@ def load_npz(path: str | Path) -> LTS:
             )
         lts = LTS(initial=int(data["initial"]))
         lts.ensure_states(int(data["n_states"]))
-        labels = [str(l) for l in data["labels"]]
+        labels = [str(lab) for lab in data["labels"]]
         # intern labels in stored order so ids line up
         for lab in labels:
             lts.label_id(lab)

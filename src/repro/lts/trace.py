@@ -48,11 +48,11 @@ class Trace:
 
     def count(self, label: str) -> int:
         """Occurrences of ``label`` in the trace."""
-        return sum(1 for l in self.labels if l == label)
+        return sum(1 for lab in self.labels if lab == label)
 
     def filtered(self, keep) -> "Trace":
         """Labels satisfying predicate ``keep`` (states are dropped)."""
-        return Trace(tuple(l for l in self.labels if keep(l)))
+        return Trace(tuple(lab for lab in self.labels if keep(lab)))
 
     def prefix(self, n: int) -> "Trace":
         """The first ``n`` steps."""
@@ -64,7 +64,7 @@ class Trace:
         if numbered:
             width = len(str(len(self.labels)))
             return "\n".join(
-                f"{i + 1:>{width}}. {l}" for i, l in enumerate(self.labels)
+                f"{i + 1:>{width}}. {lab}" for i, lab in enumerate(self.labels)
             )
         return "\n".join(self.labels)
 

@@ -30,7 +30,6 @@ from repro.lts.lts import LTS
 from repro.mucalc.syntax import (
     ActionPredicate,
     And,
-    AnyAct,
     Box,
     Diamond,
     Ff,
@@ -127,7 +126,7 @@ class _Context:
         mask = self._pred_masks.get(pred)
         if mask is None:
             mask = np.fromiter(
-                (pred.matches(l) for l in self.labels),
+                (pred.matches(lab) for lab in self.labels),
                 dtype=bool,
                 count=len(self.labels),
             )

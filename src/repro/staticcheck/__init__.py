@@ -1,0 +1,46 @@
+"""Static protocol analysis (``repro lint``) — no exploration needed.
+
+The analyzer approximates, in milliseconds and without building any
+LTS, the lock-discipline and vacuity mistakes the paper's model
+checking found the slow way: lockset dataflow over the protocol phase
+graph, lints over the muCRL-style specifications, and a cross-check of
+formula labels against the model's vocabulary.
+"""
+
+from repro.staticcheck.analyzer import default_formulas, run_lint
+from repro.staticcheck.findings import RULES, Finding, LintReport, Severity
+from repro.staticcheck.labelcheck import (
+    formula_literals,
+    lint_labels,
+    model_labels,
+)
+from repro.staticcheck.lockset import compute_locksets, lint_locksets
+from repro.staticcheck.phasegraph import (
+    GRANT_BLOCKERS,
+    LockSlot,
+    PhaseGraph,
+    PhaseRule,
+    phase_graph,
+)
+from repro.staticcheck.speclint import lint_spec, lint_system
+
+__all__ = [
+    "GRANT_BLOCKERS",
+    "RULES",
+    "Finding",
+    "LintReport",
+    "LockSlot",
+    "PhaseGraph",
+    "PhaseRule",
+    "Severity",
+    "compute_locksets",
+    "default_formulas",
+    "formula_literals",
+    "lint_labels",
+    "lint_locksets",
+    "lint_spec",
+    "lint_system",
+    "model_labels",
+    "phase_graph",
+    "run_lint",
+]

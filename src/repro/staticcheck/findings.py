@@ -1,0 +1,138 @@
+"""Findings, severities and reports of the static protocol analyzer.
+
+Every lint rule has a stable identifier (``JKL001``, ...) so findings
+can be suppressed individually and CI gates stay meaningful as rules
+are added. The numbering is grouped by analysis:
+
+* ``JKL0xx`` — lockset dataflow over the protocol phase graph;
+* ``JKL1xx`` — process-algebra specification lints;
+* ``JKL2xx`` — label cross-checks between the model and formulas.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable
+
+
+class Severity(IntEnum):
+    """How seriously a finding gates CI.
+
+    Only :data:`Severity.ERROR` findings make ``repro lint`` exit
+    nonzero; warnings and notes are informational.
+    """
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: rule id -> one-line description (the catalogue rendered by ``--rules``
+#: and documented in docs/static-analysis.md)
+RULES: dict[str, str] = {
+    "JKL001": "a rule acquires a lock slot its thread already holds",
+    "JKL002": "a rule releases a lock slot that may be free",
+    "JKL003": "a thread can return to IDLE still holding a lock slot",
+    "JKL004": "a rule waits for a lock while holding one that blocks its grant",
+    "JKL005": "home-side operation reachable under the fault lock "
+    "(the static signature of the paper's Error 1)",
+    "JKL006": "a thread phase is unreachable from IDLE in the phase graph",
+    "JKL101": "a guard is statically unsatisfiable (or makes a branch dead)",
+    "JKL102": "a dead summand: delta branch or term unreachable after delta",
+    "JKL103": "a sum variable is never used by its body",
+    "JKL104": "a communication pair references an action no process performs",
+    "JKL105": "an encapsulation/hiding set names an action never performed",
+    "JKL201": "a formula references a label the model can never emit",
+    "JKL202": "a label prefix in a formula matches nothing the model emits",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by the analyzer.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id (key of :data:`RULES`).
+    severity:
+        Gate level; see :class:`Severity`.
+    location:
+        Where the problem lives — a phase-graph edge, a process
+        definition, or a formula, rendered as text (the analyzer works
+        on in-memory objects, not files).
+    message:
+        Human-readable description of this concrete instance.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+
+    def render(self) -> str:
+        """``JKL005 error  <location>: <message>``."""
+        return f"{self.rule} {self.severity!s:<7} {self.location}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of one ``repro lint`` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: rule ids dropped before reporting (from ``--suppress``)
+    suppressed: tuple[str, ...] = ()
+
+    def extend(self, more: Iterable[Finding]) -> None:
+        self.findings.extend(
+            f for f in more if f.rule not in self.suppressed
+        )
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean at error severity, 1 otherwise (the CI gate)."""
+        return 1 if self.errors() else 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sorted(
+            self.findings, key=lambda f: (-int(f.severity), f.rule, f.location)
+        )]
+        n_err, n_warn = len(self.errors()), len(self.warnings())
+        lines.append(
+            f"{len(self.findings)} finding(s): {n_err} error(s), "
+            f"{n_warn} warning(s)"
+        )
+        if self.suppressed:
+            lines.append(f"suppressed rules: {', '.join(self.suppressed)}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "suppressed": list(self.suppressed),
+            "exit_code": self.exit_code,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)

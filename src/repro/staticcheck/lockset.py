@@ -1,0 +1,190 @@
+"""Lockset dataflow over the thread phase graph.
+
+A forward fixpoint from IDLE computes, for every reachable phase, the
+*may*-held and *must*-held sets of protocol lock slots (union / meet
+over all paths, the classic gen-kill lattice). The checks then read the
+fixpoint:
+
+* **JKL001** — a rule acquires a slot its thread must already hold;
+* **JKL002** — a rule releases a slot that may (or must) be free;
+* **JKL003** — IDLE is reachable with a lock possibly still held
+  (acquire/release imbalance around the write/flush cycle);
+* **JKL004** — a rule enqueues the thread on a lock while it still
+  holds a slot that blocks that lock's grant (self-deadlock by the
+  lock manager's own exclusion rules);
+* **JKL005** — a home-side operation fires in a phase where the thread
+  must hold the *fault* lock and cannot hold the server or flush lock.
+  This is the static signature of the paper's **Error 1**: the thread
+  took the fault lock for a remote write, the region's home migrated to
+  its own processor underneath it, and it continues down the
+  remote-write path — at-home work under the wrong lock;
+* **JKL006** — a phase no rule path can reach from IDLE (dead phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jackal.model import Phase
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.phasegraph import (
+    GRANT_BLOCKERS,
+    LockSlot,
+    PhaseGraph,
+    PhaseRule,
+)
+
+_ALL = frozenset(LockSlot)
+
+
+def _fmt(slots) -> str:
+    if not slots:
+        return "{}"
+    return "{" + ", ".join(str(s) for s in sorted(slots)) + "}"
+
+
+@dataclass(frozen=True)
+class LocksetResult:
+    """The dataflow fixpoint: per-phase may/must locksets."""
+
+    may: dict
+    must: dict
+
+    def reachable(self) -> frozenset:
+        return frozenset(self.may)
+
+
+def compute_locksets(graph: PhaseGraph) -> LocksetResult:
+    """Forward fixpoint from ``Phase.IDLE`` with empty locksets.
+
+    Transfer of a rule: ``out = (in - releases) | acquires``. Waits do
+    not change held slots (the matching grant rule performs the
+    acquire). ``may`` joins by union, ``must`` by intersection.
+    """
+    may: dict = {Phase.IDLE: frozenset()}
+    must: dict = {Phase.IDLE: frozenset()}
+    work = [Phase.IDLE]
+    while work:
+        p = work.pop()
+        for rule in graph.rules_from(p):
+            out_may = (may[p] - rule.releases) | rule.acquires
+            out_must = (must[p] - rule.releases) | rule.acquires
+            q = rule.dst
+            if q not in may:
+                may[q], must[q] = out_may, out_must
+                work.append(q)
+                continue
+            new_may = may[q] | out_may
+            new_must = must[q] & out_must
+            if new_may != may[q] or new_must != must[q]:
+                may[q], must[q] = new_may, new_must
+                work.append(q)
+    return LocksetResult(may=may, must=must)
+
+
+def _check_rule(
+    rule: PhaseRule, may_in: frozenset, must_in: frozenset
+) -> list[Finding]:
+    out: list[Finding] = []
+    loc = rule.describe()
+    for s in sorted(rule.acquires):
+        if s in must_in:
+            out.append(
+                Finding(
+                    "JKL001",
+                    Severity.ERROR,
+                    loc,
+                    f"acquires the {s} lock while already holding it "
+                    f"(held on every path: {_fmt(must_in)})",
+                )
+            )
+    for s in sorted(rule.releases):
+        if s not in may_in:
+            out.append(
+                Finding(
+                    "JKL002",
+                    Severity.ERROR,
+                    loc,
+                    f"releases the {s} lock, which is free on every path "
+                    f"into {rule.src.name}",
+                )
+            )
+        elif s not in must_in:
+            out.append(
+                Finding(
+                    "JKL002",
+                    Severity.WARNING,
+                    loc,
+                    f"releases the {s} lock, which some path into "
+                    f"{rule.src.name} arrives without "
+                    f"(may={_fmt(may_in)}, must={_fmt(must_in)})",
+                )
+            )
+    held_after = (must_in - rule.releases) | rule.acquires
+    for w in sorted(rule.waits):
+        blockers = GRANT_BLOCKERS[w] & held_after
+        if blockers:
+            out.append(
+                Finding(
+                    "JKL004",
+                    Severity.ERROR,
+                    loc,
+                    f"waits for the {w} lock while still holding "
+                    f"{_fmt(blockers)}, which block(s) its grant: the "
+                    "thread deadlocks against its own processor's lock "
+                    "manager",
+                )
+            )
+    if rule.home_side:
+        safe = {LockSlot.SERVER, LockSlot.FLUSH}
+        if LockSlot.FAULT in must_in and not (safe & must_in):
+            out.append(
+                Finding(
+                    "JKL005",
+                    Severity.ERROR,
+                    loc,
+                    "home-side operation with only the fault lock held "
+                    f"(must={_fmt(must_in)}): the home migrated here "
+                    "while the thread queued for a remote write and it "
+                    "continues down the remote path — the paper's "
+                    "Error 1 (the thread will wait for a Data Return "
+                    "no one sends)",
+                )
+            )
+    return out
+
+
+def lint_locksets(graph: PhaseGraph) -> list[Finding]:
+    """Run the dataflow and all JKL0xx checks over ``graph``."""
+    result = compute_locksets(graph)
+    findings: list[Finding] = []
+    for rule in graph.rules:
+        if rule.src not in result.may:
+            continue  # only reachable rules are judged
+        findings.extend(
+            _check_rule(rule, result.may[rule.src], result.must[rule.src])
+        )
+    leftover = result.may.get(Phase.IDLE, frozenset())
+    if leftover:
+        findings.append(
+            Finding(
+                "JKL003",
+                Severity.ERROR,
+                Phase.IDLE.name,
+                f"a write/flush cycle can return to IDLE still holding "
+                f"{_fmt(leftover)} — acquire/release imbalance",
+            )
+        )
+    reachable = result.reachable()
+    for phase in sorted(graph.phases, key=int):
+        if phase not in reachable:
+            findings.append(
+                Finding(
+                    "JKL006",
+                    Severity.WARNING,
+                    phase.name,
+                    "phase is unreachable from IDLE in the phase graph "
+                    "(dead rule set)",
+                )
+            )
+    return findings

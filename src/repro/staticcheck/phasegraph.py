@@ -1,0 +1,212 @@
+"""Per-thread phase graph of the protocol, for static lock reasoning.
+
+A thread of :class:`~repro.jackal.model.JackalModel` moves through the
+phases of :class:`~repro.jackal.model.Phase`; each move acquires,
+releases or waits on some of the protocol lock slots of its processor.
+This module projects the model's rule set onto that thread-local view:
+nodes are phases, edges are protocol rules annotated with their lock
+effects. The projection is *static* — it is derived from the model's
+configuration and :class:`~repro.jackal.params.ProtocolVariant` flags,
+never by exploring states — which is what lets ``repro lint`` reason
+about lock discipline in milliseconds where the LTS takes minutes.
+
+The extraction deliberately mirrors the dispatch structure of
+``JackalModel.successors`` (one edge per thread-moving rule, plus the
+three lock-grant rules of the lock manager); the self-check test pins
+the two against each other by asserting that every phase the model can
+put a thread in appears in the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.jackal.model import Phase
+from repro.jackal.params import ProtocolVariant
+
+
+class LockSlot(IntEnum):
+    """The three per-processor protocol locks a thread can hold.
+
+    These are the holder slots of the model's six-slot lock tuple (the
+    other three slots are the waiter bitmasks, which the dataflow
+    tracks through :attr:`PhaseRule.waits`).
+    """
+
+    SERVER = 0
+    FAULT = 1
+    FLUSH = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: which held slots prevent a wait on the key slot from ever being
+#: granted, per the lock manager's grant conditions in the model
+#: (server needs the flush lock free; fault needs the flush lock free;
+#: flush needs all three free)
+GRANT_BLOCKERS: dict[LockSlot, frozenset[LockSlot]] = {
+    LockSlot.SERVER: frozenset({LockSlot.FLUSH}),
+    LockSlot.FAULT: frozenset({LockSlot.FLUSH}),
+    LockSlot.FLUSH: frozenset(
+        {LockSlot.SERVER, LockSlot.FAULT, LockSlot.FLUSH}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PhaseRule:
+    """One protocol rule as seen by a single thread.
+
+    Attributes
+    ----------
+    name:
+        The rule's label family (matching the action labels the model
+        emits, without thread/processor parameters).
+    src, dst:
+        Thread phase before and after the rule fires.
+    acquires, releases:
+        Lock slots whose *holder* field this rule takes or frees.
+    waits:
+        Lock slots this rule enqueues the thread on (the grant arrives
+        later through a separate lock-manager rule).
+    home_side:
+        True when the rule's guard places the thread's processor as the
+        region's home and the rule touches (or commits the thread to)
+        the home copy — the operations the protocol serialises through
+        the server lock (or the flush lock, whose grant condition
+        excludes every other lock holder).
+    """
+
+    name: str
+    src: Phase
+    dst: Phase
+    acquires: frozenset = frozenset()
+    releases: frozenset = frozenset()
+    waits: frozenset = frozenset()
+    home_side: bool = False
+
+    def describe(self) -> str:
+        return f"{self.src.name} -[{self.name}]-> {self.dst.name}"
+
+
+@dataclass(frozen=True)
+class PhaseGraph:
+    """The per-thread phase graph of one protocol variant."""
+
+    variant: ProtocolVariant
+    rules: tuple[PhaseRule, ...]
+
+    @property
+    def phases(self) -> frozenset:
+        out = {r.src for r in self.rules} | {r.dst for r in self.rules}
+        return frozenset(out)
+
+    def rules_from(self, phase: Phase) -> tuple[PhaseRule, ...]:
+        return tuple(r for r in self.rules if r.src == phase)
+
+
+def _r(name, src, dst, *, acq=(), rel=(), wait=(), home_side=False):
+    return PhaseRule(
+        name=name,
+        src=src,
+        dst=dst,
+        acquires=frozenset(acq),
+        releases=frozenset(rel),
+        waits=frozenset(wait),
+        home_side=home_side,
+    )
+
+
+def phase_graph(variant: ProtocolVariant) -> PhaseGraph:
+    """Extract the thread phase graph for ``variant``.
+
+    One edge per rule in ``JackalModel`` that moves a thread, with the
+    rule's lock effects on the thread's own processor. Rules gated on a
+    variant flag appear only when the flag enables them, so linting a
+    buggy variant sees the buggy rule set.
+    """
+    SRV, FLT, FLS = LockSlot.SERVER, LockSlot.FAULT, LockSlot.FLUSH
+    rules: list[PhaseRule] = [
+        # -- IDLE: start a write or a flush ----------------------------
+        _r("write_local", Phase.IDLE, Phase.LOCAL),
+        _r("write_at_home", Phase.IDLE, Phase.WANT_SERVER, wait=[SRV]),
+        _r("write_remote", Phase.IDLE, Phase.WANT_FAULT, wait=[FLT]),
+        _r("flush_start", Phase.IDLE, Phase.WANT_FLUSH, wait=[FLS]),
+        # -- lock manager grants ---------------------------------------
+        _r("lock_server", Phase.WANT_SERVER, Phase.HAVE_SERVER, acq=[SRV]),
+        _r("lock_fault", Phase.WANT_FAULT, Phase.HAVE_FAULT, acq=[FLT]),
+        _r("lock_flush", Phase.WANT_FLUSH, Phase.HAVE_FLUSH, acq=[FLS]),
+        # -- server-lock write path ------------------------------------
+        _r(
+            "writeover_at_home",
+            Phase.HAVE_SERVER,
+            Phase.IDLE,
+            rel=[SRV],
+            home_side=True,
+        ),
+        _r(
+            "restart_write",
+            Phase.HAVE_SERVER,
+            Phase.WANT_FAULT,
+            rel=[SRV],
+            wait=[FLT],
+        ),
+        # -- fault-lock (remote) write path ----------------------------
+        _r("send_datareq", Phase.HAVE_FAULT, Phase.WAIT_DATA),
+        _r("signal", Phase.WAIT_DATA, Phase.REMOTE_READY),
+        _r("writeover_remote", Phase.REMOTE_READY, Phase.IDLE, rel=[FLT]),
+        # -- flush-lock path -------------------------------------------
+        _r("flushover", Phase.HAVE_FLUSH, Phase.IDLE, rel=[FLS]),
+        _r(
+            "flush_home",
+            Phase.HAVE_FLUSH,
+            Phase.HAVE_FLUSH,
+            home_side=True,
+        ),
+        _r("send_flush", Phase.HAVE_FLUSH, Phase.HAVE_FLUSH),
+        # -- local (valid cached copy) write ---------------------------
+        _r("writeover_local", Phase.LOCAL, Phase.IDLE),
+    ]
+    if variant.fault_lock_recheck:
+        # the Error-1 fix: the fault-lock holder re-checks the home and,
+        # finding itself at home, trades the fault lock for the server
+        # lock before touching the home copy
+        rules.append(
+            _r(
+                "fault_to_server",
+                Phase.HAVE_FAULT,
+                Phase.WANT_SERVER,
+                rel=[FLT],
+                wait=[SRV],
+            )
+        )
+    else:
+        # the Error-1 bug: the access check inside the fault handler
+        # finds a valid local copy (this processor *is* the home) and
+        # the thread continues down the remote-write path regardless,
+        # still holding only the fault lock
+        rules.append(
+            _r(
+                "stale_remote_wait",
+                Phase.HAVE_FAULT,
+                Phase.WAIT_DATA,
+                home_side=True,
+            )
+        )
+    if variant.adaptive_lazy_flushing:
+        rules += [
+            _r("alf_write", Phase.IDLE, Phase.ALF_WRITE),
+            _r("alf_writeover", Phase.ALF_WRITE, Phase.IDLE),
+            _r("alf_write_restart", Phase.ALF_WRITE, Phase.IDLE),
+            _r("alf_flush", Phase.IDLE, Phase.ALF_FLUSH),
+            _r("alf_flushover", Phase.ALF_FLUSH, Phase.IDLE),
+            _r(
+                "alf_flush_restart",
+                Phase.ALF_FLUSH,
+                Phase.WANT_FLUSH,
+                wait=[FLS],
+            ),
+        ]
+    return PhaseGraph(variant=variant, rules=tuple(rules))

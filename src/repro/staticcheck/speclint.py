@@ -1,0 +1,264 @@
+"""Static lints over process-algebra specifications.
+
+:class:`~repro.algebra.spec.Spec` already rejects hard errors (unknown
+processes, arity mismatches, unbound variables) at construction. This
+linter finds the *well-formed but wrong* specifications the paper's
+authors report losing time to — guards that can never fire, summands
+that are dead weight, and communication functions that silently never
+synchronise because one side's action name is misspelt:
+
+* **JKL101** — a guard is statically unsatisfiable (no assignment of
+  its sum-bound variables makes it true), or constant in a way that
+  kills a non-``delta`` branch;
+* **JKL102** — a dead summand: a ``delta`` alternative, or a term
+  sequenced after ``delta`` (which never terminates);
+* **JKL103** — a ``sum`` variable its body never reads (the sum only
+  multiplies identical summands);
+* **JKL104** — a communication pair names an action no process in the
+  system ever performs (the synchronisation can never fire);
+* **JKL105** — an encapsulation/hiding set names an action never
+  performed (harmless at runtime, but almost always a typo).
+
+Guard satisfiability is decided by enumeration over the finite sorts of
+enclosing ``sum`` binders (the only place this algebra attaches sorts to
+variables); guards over process parameters are skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.algebra.composition import Comm, Encap, Hide, Par, Rename
+from repro.algebra.spec import ProcessDef, Spec
+from repro.algebra.terms import (
+    Act,
+    Alt,
+    Call,
+    Cond,
+    Delta,
+    ProcessTerm,
+    Seq,
+    Sum,
+)
+from repro.staticcheck.findings import Finding, Severity
+
+#: refuse to enumerate guard environments beyond this many combinations
+_MAX_GUARD_ENVS = 4096
+
+
+def _used_vars(term: ProcessTerm) -> frozenset[str]:
+    """Free data variables actually read somewhere under ``term``."""
+    return term.free()
+
+
+def _walk_guards(
+    term: ProcessTerm,
+    scope: dict,
+    where: str,
+    findings: list[Finding],
+) -> None:
+    if isinstance(term, Cond):
+        free = term.cond.free()
+        if all(v in scope for v in free):
+            domains = [[(v, val) for val in scope[v].values] for v in free]
+            n_envs = 1
+            for d in domains:
+                n_envs *= len(d)
+            if n_envs <= _MAX_GUARD_ENVS:
+                outcomes = {
+                    bool(term.cond.eval(dict(env)))
+                    for env in product(*domains)
+                }
+                if outcomes == {False} and not isinstance(term.then, Delta):
+                    findings.append(
+                        Finding(
+                            "JKL101",
+                            Severity.ERROR,
+                            where,
+                            f"guard {term.cond} is unsatisfiable: the "
+                            "then-branch is dead",
+                        )
+                    )
+                elif outcomes == {True} and not isinstance(term.els, Delta):
+                    findings.append(
+                        Finding(
+                            "JKL101",
+                            Severity.ERROR,
+                            where,
+                            f"guard {term.cond} is a tautology: the "
+                            "else-branch is dead",
+                        )
+                    )
+        _walk_guards(term.then, scope, where, findings)
+        _walk_guards(term.els, scope, where, findings)
+        return
+    if isinstance(term, Sum):
+        if term.var not in _used_vars(term.body):
+            findings.append(
+                Finding(
+                    "JKL103",
+                    Severity.WARNING,
+                    where,
+                    f"sum variable {term.var} is never used: the sum "
+                    f"only multiplies an identical summand "
+                    f"{len(term.sort.values)} times",
+                )
+            )
+        _walk_guards(
+            term.body, {**scope, term.var: term.sort}, where, findings
+        )
+        return
+    if isinstance(term, Seq):
+        if isinstance(term.left, Delta):
+            findings.append(
+                Finding(
+                    "JKL102",
+                    Severity.ERROR,
+                    where,
+                    f"term {term.right} is sequenced after delta and can "
+                    "never execute",
+                )
+            )
+        _walk_guards(term.left, scope, where, findings)
+        _walk_guards(term.right, scope, where, findings)
+        return
+    if isinstance(term, Alt):
+        for branch in (term.left, term.right):
+            if isinstance(branch, Delta):
+                findings.append(
+                    Finding(
+                        "JKL102",
+                        Severity.WARNING,
+                        where,
+                        "delta alternative is a dead summand (x + delta "
+                        "= x)",
+                    )
+                )
+        _walk_guards(term.left, scope, where, findings)
+        _walk_guards(term.right, scope, where, findings)
+        return
+    if isinstance(term, (Par, Encap, Hide, Rename)):
+        for sub in term.subterms():
+            _walk_guards(sub, scope, where, findings)
+        return
+    # Act / Call / Delta carry no nested process terms
+
+
+def _actions_performed(term: ProcessTerm, spec: Spec, seen: set) -> set[str]:
+    """Action names syntactically performable under ``term``, following
+    process calls (each definition expanded once)."""
+    out: set[str] = set()
+    if isinstance(term, Act):
+        out.add(term.name)
+    elif isinstance(term, Call):
+        if term.name not in seen:
+            seen.add(term.name)
+            out |= _actions_performed(spec.lookup(term.name).body, spec, seen)
+    elif isinstance(term, (Seq, Alt)):
+        out |= _actions_performed(term.left, spec, seen)
+        out |= _actions_performed(term.right, spec, seen)
+    elif isinstance(term, (Sum,)):
+        out |= _actions_performed(term.body, spec, seen)
+    elif isinstance(term, Cond):
+        out |= _actions_performed(term.then, spec, seen)
+        out |= _actions_performed(term.els, spec, seen)
+    elif isinstance(term, Rename):
+        mapping = term.as_dict()
+        inner = _actions_performed(term.inner, spec, seen)
+        out |= {mapping.get(a, a) for a in inner}
+    elif isinstance(term, (Par, Encap, Hide)):
+        for sub in term.subterms():
+            out |= _actions_performed(sub, spec, seen)
+    return out
+
+
+def _comms_in(term: ProcessTerm) -> list[Comm]:
+    out = []
+    if isinstance(term, Par):
+        if term.comm is not None:
+            out.append(term.comm)
+        for sub in term.subterms():
+            out.extend(_comms_in(sub))
+    elif isinstance(term, (Encap, Hide, Rename)):
+        for sub in term.subterms():
+            out.extend(_comms_in(sub))
+    elif isinstance(term, (Seq, Alt)):
+        out.extend(_comms_in(term.left))
+        out.extend(_comms_in(term.right))
+    elif isinstance(term, (Sum, Cond)):
+        inner = (term.body,) if isinstance(term, Sum) else (term.then, term.els)
+        for sub in inner:
+            out.extend(_comms_in(sub))
+    return out
+
+
+def _sync_sets_in(term: ProcessTerm):
+    """Yield ``(kind, names)`` for every Encap/Hide set under ``term``."""
+    if isinstance(term, Encap):
+        yield "encap", term.names
+    elif isinstance(term, Hide):
+        yield "hide", term.names
+    if isinstance(term, (Par, Encap, Hide, Rename)):
+        for sub in term.subterms():
+            yield from _sync_sets_in(sub)
+    elif isinstance(term, (Seq, Alt)):
+        yield from _sync_sets_in(term.left)
+        yield from _sync_sets_in(term.right)
+    elif isinstance(term, Sum):
+        yield from _sync_sets_in(term.body)
+    elif isinstance(term, Cond):
+        yield from _sync_sets_in(term.then)
+        yield from _sync_sets_in(term.els)
+
+
+def lint_spec(spec: Spec, name: str = "<spec>") -> list[Finding]:
+    """JKL101-103 over every definition of ``spec``."""
+    findings: list[Finding] = []
+    for d in spec.defs:
+        assert isinstance(d, ProcessDef)
+        _walk_guards(d.body, {}, f"{name}/{d.name}", findings)
+    return findings
+
+
+def lint_system(system, name: str = "<system>") -> list[Finding]:
+    """All spec lints over a :class:`~repro.algebra.semantics.SpecSystem`.
+
+    Adds the cross-cutting checks that need the closed composition: the
+    communication function (JKL104) and the encapsulation/hiding sets
+    (JKL105) are diffed against the actions the composed processes can
+    actually perform.
+    """
+    spec, init = system.spec, system.init_term
+    findings = lint_spec(spec, name)
+    _walk_guards(init, {}, f"{name}/<init>", findings)
+    performed = _actions_performed(init, spec, set())
+    comm_results: set[str] = set()
+    for comm in _comms_in(init):
+        for pair, result in comm.table:
+            comm_results.add(result)
+            for action in sorted(pair):
+                if action not in performed:
+                    findings.append(
+                        Finding(
+                            "JKL104",
+                            Severity.ERROR,
+                            f"{name}/<comm>",
+                            f"communication {sorted(pair)} -> {result} "
+                            f"references action {action!r}, which no "
+                            "process in the system performs: the "
+                            "synchronisation can never fire",
+                        )
+                    )
+    for kind, names in _sync_sets_in(init):
+        for action in sorted(names):
+            if action not in performed and action not in comm_results:
+                findings.append(
+                    Finding(
+                        "JKL105",
+                        Severity.WARNING,
+                        f"{name}/<{kind}>",
+                        f"{kind} set names action {action!r}, which no "
+                        "process performs (typo?)",
+                    )
+                )
+    return findings

@@ -68,3 +68,64 @@ def test_shortest_trace_unreachable():
 def test_shortest_trace_is_shortest(small_lts):
     # to state 3: a.d is the only path, length 2
     assert len(shortest_trace_to(small_lts, [3])) == 2
+
+
+# -- edge paths: empty LTS, deadlock at state 0, violation sinks ------------
+
+
+def test_empty_lts_deadlocks_at_state_zero():
+    """An LTS with only its initial state is one big deadlock."""
+    l = LTS(0)
+    l.ensure_states(1)
+    rep = find_deadlocks(l)
+    assert not rep.deadlock_free
+    assert rep.deadlocks == [0]
+    # the error trace is the empty trace: we are already stuck
+    assert rep.shortest_trace is not None
+    assert len(rep.shortest_trace) == 0
+
+
+def test_empty_lts_with_valid_end_meta_is_proper_termination():
+    l = LTS(0)
+    l.ensure_states(1)
+    l.state_meta[0] = {"done": True}
+    rep = find_deadlocks(l, is_valid_end=lambda meta: meta["done"])
+    assert rep.deadlock_free
+    assert rep.terminal_ok == [0]
+
+
+def test_zero_state_lts_reports_nothing():
+    """A degenerate LTS with no states at all has no deadlocks."""
+    l = LTS(0)
+    rep = find_deadlocks(l)
+    assert rep.deadlock_free
+    assert rep.deadlocks == []
+
+
+def test_shortest_trace_to_empty_targets_is_none(small_lts):
+    assert shortest_trace_to(small_lts, []) is None
+
+
+def test_shortest_trace_into_violation_sink():
+    """Requirement-2 style: trace ends at the assertion-violation sink."""
+    l = LTS(0)
+    l.add_transition(0, "write(t0)", 1)
+    l.add_transition(1, "assertion_violation(unexpected_data_return)", 2)
+    l.add_transition(1, "writeover(t0)", 0)
+    sinks = [
+        s
+        for s in range(l.n_states)
+        if any(
+            lab.startswith("assertion_violation")
+            for lab, _ in l.successors(s)
+        )
+    ]
+    trace = shortest_trace_to(l, sinks)
+    assert trace is not None
+    assert list(trace) == ["write(t0)"]
+    rep = find_deadlocks(l)
+    assert rep.deadlocks == [2]
+    assert list(rep.shortest_trace) == [
+        "write(t0)",
+        "assertion_violation(unexpected_data_return)",
+    ]

@@ -71,3 +71,61 @@ def test_replay_duplicate_same_target_ok():
 
     t = replay(Dup(), ["a"])
     assert t.final_state == 1
+
+
+# -- edge paths ------------------------------------------------------------
+
+
+def test_empty_trace():
+    t = Trace(())
+    assert len(t) == 0
+    assert list(t) == []
+    assert t.format() == ""
+    assert t.prefix(3).labels == ()
+    with pytest.raises(TraceError):
+        t.final_state
+
+
+def test_empty_trace_with_initial_state_annotation():
+    t = Trace((), (42,))
+    assert t.final_state == 42
+
+
+def test_replay_empty_sequence(chain_system):
+    t = replay(chain_system, [])
+    assert t.labels == ()
+    assert t.states == (0,)
+    assert t.final_state == 0
+
+
+def test_replay_into_violation_sink():
+    class ViolationSystem:
+        def initial_state(self):
+            return 0
+
+        def successors(self, s):
+            return {
+                0: [("write(t0)", 1)],
+                1: [("assertion_violation(x)", 2)],
+                2: [],
+            }[s]
+
+    t = replay(
+        ViolationSystem(), ["write(t0)", "assertion_violation(x)"]
+    )
+    assert t.final_state == 2
+    assert t.count("assertion_violation(x)") == 1
+    # the sink is terminal: any further label errors out
+    with pytest.raises(TraceError, match="not enabled"):
+        replay(
+            ViolationSystem(),
+            ["write(t0)", "assertion_violation(x)", "write(t0)"],
+        )
+
+
+def test_prefix_keeps_state_alignment():
+    t = Trace(("a", "b"), (0, 1, 2))
+    p = t.prefix(1)
+    assert p.labels == ("a",)
+    assert p.states == (0, 1)
+    assert p.final_state == 1

@@ -1,0 +1,150 @@
+"""Unit tests for the lockset dataflow and its JKL0xx checks."""
+
+from repro.jackal.model import Phase
+from repro.jackal.params import ProtocolVariant
+from repro.staticcheck import compute_locksets, lint_locksets, phase_graph
+from repro.staticcheck.phasegraph import LockSlot, PhaseGraph, PhaseRule
+
+
+def _rule(name, src, dst, **kw):
+    kw.setdefault("acquires", frozenset())
+    kw.setdefault("releases", frozenset())
+    kw.setdefault("waits", frozenset())
+    return PhaseRule(name=name, src=src, dst=dst, **kw)
+
+
+def _graph(*rules):
+    return PhaseGraph(variant=ProtocolVariant.fixed(), rules=tuple(rules))
+
+
+SRV, FLT, FLS = LockSlot.SERVER, LockSlot.FAULT, LockSlot.FLUSH
+
+
+# -- the fixpoint ----------------------------------------------------------
+
+
+def test_fixpoint_on_the_fixed_protocol():
+    result = compute_locksets(phase_graph(ProtocolVariant.fixed()))
+    assert result.must[Phase.IDLE] == frozenset()
+    assert result.must[Phase.HAVE_SERVER] == frozenset({SRV})
+    assert result.must[Phase.HAVE_FAULT] == frozenset({FLT})
+    assert result.must[Phase.WAIT_DATA] == frozenset({FLT})
+    assert result.must[Phase.REMOTE_READY] == frozenset({FLT})
+    assert result.must[Phase.HAVE_FLUSH] == frozenset({FLS})
+    # on this protocol every phase has a unique lockset: may == must
+    assert result.may == result.must
+
+
+def test_fixpoint_joins_paths():
+    # two paths into dst: one holding SRV, one holding nothing
+    g = _graph(
+        _rule("a", Phase.IDLE, Phase.WANT_SERVER,
+              acquires=frozenset({SRV})),
+        _rule("b", Phase.IDLE, Phase.WANT_FAULT),
+        _rule("c", Phase.WANT_SERVER, Phase.LOCAL),
+        _rule("d", Phase.WANT_FAULT, Phase.LOCAL),
+    )
+    result = compute_locksets(g)
+    assert result.may[Phase.LOCAL] == frozenset({SRV})
+    assert result.must[Phase.LOCAL] == frozenset()
+
+
+# -- the checks, each on a minimal seeded graph ----------------------------
+
+
+def test_jkl001_double_acquire():
+    g = _graph(
+        _rule("take", Phase.IDLE, Phase.WANT_SERVER,
+              acquires=frozenset({SRV})),
+        _rule("take_again", Phase.WANT_SERVER, Phase.HAVE_SERVER,
+              acquires=frozenset({SRV})),
+    )
+    assert [f.rule for f in lint_locksets(g) if f.severity >= 2] == ["JKL001"]
+
+
+def test_jkl002_release_of_free_slot():
+    g = _graph(
+        _rule("free_it", Phase.IDLE, Phase.LOCAL,
+              releases=frozenset({FLT})),
+    )
+    findings = [f for f in lint_locksets(g) if f.rule == "JKL002"]
+    assert len(findings) == 1
+    assert "free on every path" in findings[0].message
+
+
+def test_jkl002_warns_on_may_only_release():
+    # LOCAL reachable with and without SRV; the release is only wrong on
+    # one path -> warning, not error
+    g = _graph(
+        _rule("a", Phase.IDLE, Phase.WANT_SERVER,
+              acquires=frozenset({SRV})),
+        _rule("b", Phase.IDLE, Phase.LOCAL),
+        _rule("c", Phase.WANT_SERVER, Phase.LOCAL),
+        _rule("d", Phase.LOCAL, Phase.IDLE, releases=frozenset({SRV})),
+    )
+    findings = [f for f in lint_locksets(g) if f.rule == "JKL002"]
+    assert [int(f.severity) for f in findings] == [1]
+
+
+def test_jkl003_imbalance_back_to_idle():
+    g = _graph(
+        _rule("take", Phase.IDLE, Phase.LOCAL,
+              acquires=frozenset({SRV})),
+        _rule("forget", Phase.LOCAL, Phase.IDLE),  # never releases
+    )
+    assert "JKL003" in [f.rule for f in lint_locksets(g)]
+
+
+def test_jkl004_wait_while_holding_blocker():
+    # holding the flush lock while queueing for the fault lock: the
+    # grant condition (flush free) can never be met by this thread
+    g = _graph(
+        _rule("take_fls", Phase.IDLE, Phase.HAVE_FLUSH,
+              acquires=frozenset({FLS})),
+        _rule("then_fault", Phase.HAVE_FLUSH, Phase.WANT_FAULT,
+              waits=frozenset({FLT})),
+    )
+    findings = [f for f in lint_locksets(g) if f.rule == "JKL004"]
+    assert len(findings) == 1
+    assert "deadlock" in findings[0].message
+
+
+def test_jkl005_home_side_under_fault_lock():
+    g = _graph(
+        _rule("take_flt", Phase.IDLE, Phase.HAVE_FAULT,
+              acquires=frozenset({FLT})),
+        _rule("home_op", Phase.HAVE_FAULT, Phase.WAIT_DATA,
+              home_side=True),
+    )
+    assert "JKL005" in [f.rule for f in lint_locksets(g)]
+
+
+def test_jkl005_not_raised_with_server_lock_too():
+    # holding the server lock as well makes the home-side op legitimate
+    g = _graph(
+        _rule("take_both", Phase.IDLE, Phase.HAVE_FAULT,
+              acquires=frozenset({FLT, SRV})),
+        _rule("home_op", Phase.HAVE_FAULT, Phase.WAIT_DATA,
+              home_side=True),
+    )
+    assert "JKL005" not in [f.rule for f in lint_locksets(g)]
+
+
+def test_jkl006_unreachable_phase():
+    g = _graph(
+        _rule("a", Phase.IDLE, Phase.LOCAL),
+        _rule("island", Phase.ALF_WRITE, Phase.ALF_FLUSH),
+    )
+    unreachable = {f.location for f in lint_locksets(g) if f.rule == "JKL006"}
+    assert unreachable == {"ALF_WRITE", "ALF_FLUSH"}
+
+
+def test_only_reachable_rules_are_judged():
+    # the island rule is buggy (double acquire) but unreachable; only
+    # JKL006 may fire for it
+    g = _graph(
+        _rule("a", Phase.IDLE, Phase.LOCAL),
+        _rule("island", Phase.ALF_WRITE, Phase.ALF_WRITE,
+              acquires=frozenset({SRV})),
+    )
+    assert [f.rule for f in lint_locksets(g)] == ["JKL006"]

@@ -1,0 +1,157 @@
+"""Unit tests for the specification linter (JKL1xx)."""
+
+from repro.algebra import (
+    Act,
+    Alt,
+    Call,
+    Comm,
+    Cond,
+    Delta,
+    DVar,
+    Encap,
+    FiniteSort,
+    Fn,
+    Hide,
+    Par,
+    ProcessDef,
+    Rename,
+    Seq,
+    Spec,
+    SpecSystem,
+    Sum,
+)
+from repro.jackal.mucrl_spec import (
+    locker_system,
+    region_system,
+    thread_write_remote_spec,
+)
+from repro.staticcheck import lint_spec, lint_system
+
+BIT = FiniteSort("Bit", (0, 1))
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- the shipped specifications are clean ----------------------------------
+
+
+def test_shipped_systems_are_clean():
+    assert lint_system(region_system(), "region") == []
+    assert lint_system(locker_system(), "locker") == []
+    assert lint_spec(thread_write_remote_spec(), "thread") == []
+
+
+# -- JKL101: guard satisfiability ------------------------------------------
+
+
+def test_unsatisfiable_guard_over_sum_variable():
+    eq = Fn("eq", lambda x, y: x == y, DVar("b"), 2)  # b ranges over 0/1
+    spec = Spec(defs=[ProcessDef(
+        "P", (), Sum("b", BIT, Cond(Act("a"), eq, Act("other")))
+    )])
+    findings = lint_spec(spec)
+    assert _rules(findings) == ["JKL101"]
+    assert "unsatisfiable" in findings[0].message
+
+
+def test_tautological_guard_with_live_else_branch():
+    eq = Fn("eq", lambda x, y: x == y, DVar("b"), DVar("b"))
+    spec = Spec(defs=[ProcessDef(
+        "P", (), Sum("b", BIT, Cond(Act("a"), eq, Act("dead")))
+    )])
+    findings = lint_spec(spec)
+    assert _rules(findings) == ["JKL101"]
+    assert "tautology" in findings[0].message
+
+
+def test_tautological_guard_with_delta_else_is_fine():
+    # `a <| true |> delta` is the idiomatic guarded action, not a bug
+    eq = Fn("eq", lambda x, y: x == y, DVar("b"), DVar("b"))
+    spec = Spec(defs=[ProcessDef(
+        "P", (), Sum("b", BIT, Cond(Act("a"), eq))
+    )])
+    assert lint_spec(spec) == []
+
+
+def test_guard_over_process_parameter_is_skipped():
+    # the linter cannot enumerate parameter domains; no false positive
+    eq = Fn("eq", lambda x, y: x == y, DVar("p"), 99)
+    spec = Spec(defs=[ProcessDef(
+        "P", ("p",), Cond(Act("a"), eq, Act("b"))
+    )])
+    assert lint_spec(spec) == []
+
+
+# -- JKL102: dead summands --------------------------------------------------
+
+
+def test_delta_alternative_is_flagged():
+    spec = Spec(defs=[ProcessDef("P", (), Alt(Act("a"), Delta()))])
+    findings = lint_spec(spec)
+    assert _rules(findings) == ["JKL102"]
+
+
+def test_sequence_after_delta_is_flagged():
+    spec = Spec(defs=[ProcessDef("P", (), Seq(Delta(), Act("a")))])
+    findings = lint_spec(spec)
+    assert _rules(findings) == ["JKL102"]
+    assert "never execute" in findings[0].message
+
+
+# -- JKL103: unused sum variables ------------------------------------------
+
+
+def test_unused_sum_variable():
+    spec = Spec(defs=[ProcessDef("P", (), Sum("b", BIT, Act("a")))])
+    findings = lint_spec(spec)
+    assert _rules(findings) == ["JKL103"]
+    assert "2 times" in findings[0].message
+
+
+# -- JKL104/JKL105: comm and sync sets over the closed system ---------------
+
+
+def _toy_system(comm, encap_names):
+    spec = Spec(defs=[
+        ProcessDef("S", (), Seq(Act("s_msg"), Call("S"))),
+        ProcessDef("R", (), Seq(Act("r_msg"), Call("R"))),
+    ])
+    init = Encap(encap_names, Par(Call("S"), Call("R"), comm))
+    return SpecSystem(spec, init)
+
+
+def test_comm_referencing_unperformed_action():
+    comm = Comm(("s_msg", "r_typo", "c_msg"))
+    findings = lint_system(_toy_system(comm, ["s_msg"]), "toy")
+    assert "JKL104" in _rules(findings)
+    (f,) = [f for f in findings if f.rule == "JKL104"]
+    assert "r_typo" in f.message
+
+
+def test_encap_referencing_unperformed_action():
+    comm = Comm(("s_msg", "r_msg", "c_msg"))
+    findings = lint_system(
+        _toy_system(comm, ["s_msg", "r_msg", "s_ghost"]), "toy"
+    )
+    assert _rules(findings) == ["JKL105"]
+    assert "s_ghost" in findings[0].message
+
+
+def test_encap_of_comm_result_is_fine():
+    # encapsulating the *result* of a communication is legitimate
+    comm = Comm(("s_msg", "r_msg", "c_msg"))
+    findings = lint_system(
+        _toy_system(comm, ["s_msg", "r_msg", "c_msg"]), "toy"
+    )
+    assert findings == []
+
+
+def test_hide_set_is_checked_and_rename_respected():
+    spec = Spec(defs=[ProcessDef("P", (), Seq(Act("a"), Call("P")))])
+    # rename a -> b, then hide b: fine; hiding c: typo
+    init = Hide(["b", "c"], Rename({"a": "b"}, Call("P")))
+    findings = lint_system(SpecSystem(spec, init), "toy")
+    assert _rules(findings) == ["JKL105"]
+    assert "'c'" in findings[0].message

@@ -109,3 +109,95 @@ def test_formula_no_probes(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "True" in out
+
+
+# -- repro lint ------------------------------------------------------------
+
+
+def test_lint_clean_repo_exits_zero(capsys):
+    code = main(["lint"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_error1_mutation_exits_nonzero(capsys):
+    code = main(["lint", "--variant", "error1"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "JKL005" in out
+    assert "stale_remote_wait" in out
+
+
+def test_lint_json_report(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "lint.json"
+    code = main(["lint", "--variant", "buggy", "--json", "--out", str(path)])
+    assert code == 1
+    data = json.loads(path.read_text())
+    assert data["exit_code"] == 1
+    assert [f["rule"] for f in data["findings"]] == ["JKL005"]
+    assert data["findings"][0]["severity"] == "error"
+
+
+def test_lint_suppress(capsys):
+    code = main(["lint", "--variant", "error1", "--suppress", "JKL005"])
+    assert code == 0
+
+
+def test_lint_rules_catalogue(capsys):
+    code = main(["lint", "--rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in ("JKL001", "JKL005", "JKL101", "JKL201"):
+        assert rule in out
+
+
+def test_lint_extra_formula_vacuous(capsys):
+    code = main(["lint", "--formula", 'ghost=[T*."write(t9)"] F'])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "JKL201" in out
+    assert "ghost" in out
+
+
+def test_lint_is_fast_and_explores_nothing(monkeypatch):
+    import importlib
+    import time
+
+    def boom(*_a, **_k):  # pragma: no cover - failure path
+        raise AssertionError("repro lint must not explore")
+
+    monkeypatch.setattr(
+        importlib.import_module("repro.lts.engine"), "explore_fast", boom
+    )
+    start = time.perf_counter()
+    assert main(["lint", "--config", "3"]) == 0
+    assert time.perf_counter() - start < 5.0
+
+
+# -- error handling: ReproError -> message on stderr, exit code 2 -----------
+
+
+def test_bad_model_parameters_exit_2(capsys):
+    code = main(["check", "--config", "1", "--rounds", "0"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+    assert "rounds" in err
+    assert "Traceback" not in err
+
+
+def test_malformed_formula_exit_2(capsys):
+    code = main(["formula", "--config", "1", "[T*.c_home F"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+
+
+def test_lint_malformed_extra_formula_exit_2(capsys):
+    code = main(["lint", "--formula", "broken=[T* F"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")

@@ -1,0 +1,37 @@
+"""Run the configured sanitizers over ``src`` when they are installed.
+
+CI installs ruff and mypy through the ``lint`` extra; local environments
+without them skip these tests instead of failing. This keeps the
+pyproject configuration honest — a rule violation or a config typo
+fails here before it fails in CI.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run(tool: str, *args: str) -> subprocess.CompletedProcess:
+    if shutil.which(tool) is None:
+        pytest.skip(f"{tool} is not installed (pip install -e .[lint])")
+    return subprocess.run(
+        [tool, *args],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_ruff_clean():
+    proc = _run("ruff", "check", "src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean():
+    proc = _run("mypy")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
