@@ -16,7 +16,8 @@ from repro.lts.explore import (
     ExplorationStats,
 )
 from repro.lts.engine import explore_fast
-from repro.lts.statehash import mix64, state_key64, double_hashes
+from repro.lts.statehash import mix64, state_key64, double_hashes, live_owner
+from repro.lts.faults import FaultPlan, WorkerFault, FaultInjection
 from repro.lts.deadlock import DeadlockReport, find_deadlocks, shortest_trace_to
 from repro.lts.trace import Trace, replay
 from repro.lts.reduction import (
@@ -45,6 +46,10 @@ __all__ = [
     "mix64",
     "state_key64",
     "double_hashes",
+    "live_owner",
+    "FaultPlan",
+    "WorkerFault",
+    "FaultInjection",
     "DeadlockReport",
     "find_deadlocks",
     "shortest_trace_to",

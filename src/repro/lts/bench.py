@@ -51,6 +51,8 @@ def bench_explore(
     n_workers: int = 2,
     repeats: int = 1,
     profile: bool = False,
+    faults=None,
+    batch_size: int | None = None,
 ) -> dict:
     """Benchmark exploration backends on ``system`` and cross-check them.
 
@@ -67,6 +69,13 @@ def bench_explore(
     profile:
         Additionally run the engine under :mod:`cProfile` and include
         the top functions by cumulative time in the report.
+    faults:
+        Optional :class:`~repro.lts.faults.FaultPlan` injected into the
+        distributed backend's workers. The cross-check then doubles as
+        a recovery test: a crashed worker's sweep must still report the
+        serial reference counts exactly.
+    batch_size:
+        States per distributed work batch (default 256).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -94,7 +103,8 @@ def bench_explore(
                 best[name], results[name] = st, lts
         if "distributed" in backends:
             _lts, dstats = distributed_explore(
-                system, n_workers=n_workers, backend="process"
+                system, n_workers=n_workers, backend="process",
+                faults=faults, batch_size=batch_size,
             )
             if best_dist is None or dstats.seconds < best_dist.seconds:
                 best_dist = dstats
@@ -138,6 +148,9 @@ def bench_explore(
             "per_worker_batches": best_dist.per_worker_batches,
             "imbalance": best_dist.imbalance(),
             "batches": best_dist.batches,
+            "worker_deaths": best_dist.worker_deaths,
+            "redispatched_batches": best_dist.redispatched_batches,
+            "recovered": best_dist.recovered,
         }
 
     for name, row in report["backends"].items():
@@ -182,4 +195,11 @@ def format_bench(report: dict) -> str:
             f"states/worker={dist['per_worker_states']} "
             f"batches/worker={dist['per_worker_batches']}"
         )
+        if dist.get("worker_deaths"):
+            lines.append(
+                f"distributed recovery: "
+                f"worker_deaths={dist['worker_deaths']} "
+                f"redispatched_batches={dist['redispatched_batches']} "
+                f"recovered={dist['recovered']}"
+            )
     return "\n".join(lines)

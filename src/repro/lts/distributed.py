@@ -30,6 +30,26 @@ backends are provided:
     testing the routing logic and on platforms where spawning is
     expensive).
 
+The ``"process"`` coordinator is **fault tolerant**: eight-node-cluster
+sweeps die with their weakest node, so worker loss is treated as an
+expected event, not a hang. The outbox wait is a timed poll backed by
+worker ``exitcode`` checks (a dead worker is detected within the poll
+interval), every dispatched batch is held in a per-worker in-flight
+ledger until its completion message arrives, and on a crash the dead
+worker's lost batches — in flight and pending — are re-partitioned
+over the surviving workers (:func:`repro.lts.statehash.live_owner`).
+The crashed worker's visited set dies with it, but the coordinator
+reconstructs it exactly from the ledger of batches the worker
+*acknowledged* (a worker adds every item of a batch to its visited set
+before answering), so re-routed states that were already expanded are
+dropped instead of expanded twice: a sweep that loses workers still
+reports exact state/transition totals. Recovery is observable through
+:class:`DistributedStats` (``worker_deaths``, ``redispatched_batches``,
+``recovered``) and reproducible on demand through the fault-injection
+harness in :mod:`repro.lts.faults`. Only when *every* worker dies does
+the sweep give up, raising :class:`~repro.errors.WorkerFailureError`
+within one poll interval.
+
 States travel between processes as packed codec keys when the system
 provides a :meth:`codec` (as :class:`~repro.jackal.model.JackalModel`
 does): a ~20-byte integer per state instead of a pickled tuple tree,
@@ -51,12 +71,14 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Hashable
 
-from repro.errors import ExplorationLimitError
+from repro.errors import ExplorationLimitError, WorkerFailureError
 from repro.lts.explore import TransitionSystem
+from repro.lts.faults import FaultPlan, WorkerFault, crash_process
 from repro.lts.lts import LTS
-from repro.lts.statehash import mix64
+from repro.lts.statehash import live_owner, mix64
 
 #: states per work batch (packed keys are ~20 bytes, so a batch fits
 #: comfortably in an OS pipe buffer and never blocks the coordinator)
@@ -64,6 +86,12 @@ _BATCH = 256
 #: work batches a worker may have in flight; >1 keeps its inbox warm
 #: while a completion message is in transit (the pipelining window)
 _WINDOW = 4
+#: default coordinator poll interval: an outbox wait never blocks
+#: longer than this before worker liveness is re-checked
+_POLL = 0.25
+#: completion messages handled between opportunistic liveness checks,
+#: bounding crash detection latency while the outbox stays busy
+_CRASH_CHECK_EVERY = 64
 
 
 @dataclass
@@ -75,11 +103,15 @@ class DistributedStats:
     states / transitions:
         Exact totals (hash partitioning does not lose states, unlike
         bitstate hashing — each owner keeps an exact visited set).
+        Exactness survives worker crashes: lost batches are re-expanded
+        and re-reported work is deduplicated at the coordinator.
     deadlocks:
         Terminal states encountered.
     per_worker_states:
         Visited-set size per worker; the balance of this vector is the
-        classical health metric of hash partitioning.
+        classical health metric of hash partitioning. For a crashed
+        worker this is the size its visited set had reached when it
+        died (reconstructed from the acknowledged-batch ledger).
     per_worker_batches:
         Work batches each worker expanded (pipelined backend only);
         measures scheduling balance as opposed to storage balance.
@@ -89,6 +121,15 @@ class DistributedStats:
         depth.
     batches:
         Total work batches routed (pipelined backend only).
+    worker_deaths:
+        Worker processes that died mid-sweep (pipelined backend only).
+    redispatched_batches:
+        Work batches whose assignment was lost to a crash — in flight
+        at, or still pending for, a dead worker — and were
+        re-partitioned over the survivors.
+    recovered:
+        True when at least one worker died and the sweep nevertheless
+        ran to its normal end on the survivors.
     seconds:
         Wall-clock duration.
     """
@@ -100,6 +141,9 @@ class DistributedStats:
     per_worker_batches: list[int] = field(default_factory=list)
     levels: int = 0
     batches: int = 0
+    worker_deaths: int = 0
+    redispatched_batches: int = 0
+    recovered: bool = False
     seconds: float = 0.0
 
     def imbalance(self) -> float:
@@ -122,7 +166,7 @@ def _owner(state: Hashable, n: int) -> int:
     return mix64(hash(state)) % n
 
 
-def _expand_batch(system, batch, visited, collect, decode=None):
+def _expand_batch(system, batch, visited, collect, decode=None, succ=None):
     """Owner-side work: dedup ``batch``, expand new states.
 
     ``batch`` holds packed keys when ``decode`` is given, states
@@ -135,13 +179,16 @@ def _expand_batch(system, batch, visited, collect, decode=None):
     n_trans = 0
     n_dead = 0
     collected = []
-    succ = getattr(system, "successors_fast", None) or system.successors
+    if succ is None:
+        succ = getattr(system, "successors_fast", None) or system.successors
     for item in batch:
         if item in visited:
             continue
         visited.add(item)
         state = item if decode is None else decode(item)
-        succs = succ(state)
+        # the TransitionSystem protocol only promises an Iterable, so
+        # materialize before measuring (generator-based systems)
+        succs = list(succ(state))
         n_trans += len(succs)
         if not succs:
             n_dead += 1
@@ -165,33 +212,51 @@ def _partition(states, n_workers, encode=None):
     return buckets
 
 
-def _worker_main(system, n_workers, wid, inbox, outbox, collect, packed):
+def _worker_main(
+    system, n_workers, wid, inbox, outbox, collect, packed,
+    fault: WorkerFault | None = None,
+):
     """Worker process loop: expand routed batches until told to stop.
 
-    Each ``("work", depth, batch)`` message is answered with exactly
-    one ``("done", ...)`` message — the invariant the coordinator's
-    outstanding-message termination count rests on.
+    Each ``("work", seq, depth, batch)`` message is answered with
+    exactly one ``("done", ..., seq, ...)`` message — the invariant
+    both the coordinator's outstanding-message termination count and
+    its in-flight ledger rest on. ``fault`` injects the misbehaviours
+    of :mod:`repro.lts.faults` for recovery testing.
     """
     codec = system.codec() if packed else None
     decode = codec.decode if codec else None
     encode = codec.encode if codec else None
     visited: set = set()
+    answered = 0
     while True:
         msg = inbox.get()
+        if (
+            fault is not None
+            and fault.kill_after is not None
+            and answered >= fault.kill_after
+        ):
+            crash_process(outbox)
         if msg is None:
             outbox.put(("bye", wid, len(visited)))
             return
-        _tag, depth, batch = msg
+        _tag, seq, depth, batch = msg
+        if fault is not None and fault.delay:
+            time.sleep(fault.delay)
+        succ = None
+        if fault is not None and fault.raise_at == answered:
+            succ = fault.raising_successors(wid)
         new_states, n_trans, n_dead, collected = _expand_batch(
-            system, batch, visited, collect, decode
+            system, batch, visited, collect, decode, succ=succ
         )
         buckets = _partition(new_states, n_workers, encode)
         if collect and encode is not None:
             collected = [(src, lab, encode(d)) for src, lab, d in collected]
         outbox.put(
-            ("done", wid, depth, buckets, n_trans, n_dead,
+            ("done", wid, seq, depth, buckets, n_trans, n_dead,
              len(visited), collected)
         )
+        answered += 1
 
 
 def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
@@ -228,7 +293,15 @@ def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
         levels += 1
         total = sum(len(v) for v in visited)
         if max_states is not None and total > max_states:
-            raise ExplorationLimitError(f"state limit {max_states} exceeded")
+            # an aborted sweep still reports how far it got
+            stats.states = total
+            stats.transitions = n_trans
+            stats.deadlocks = n_dead
+            stats.per_worker_states = [len(v) for v in visited]
+            stats.levels = levels
+            raise ExplorationLimitError(
+                f"state limit {max_states} exceeded", stats=stats
+            )
     stats.states = sum(len(v) for v in visited)
     stats.transitions = n_trans
     stats.deadlocks = n_dead
@@ -237,7 +310,12 @@ def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
     return transitions, init_item
 
 
-def _process_sweep(system, n_workers, collect, max_states, stats, packed):
+def _process_sweep(
+    system, n_workers, collect, max_states, stats, packed,
+    faults: FaultPlan | None = None,
+    poll: float = _POLL,
+    batch_size: int = _BATCH,
+):
     """The pipelined partitioned sweep with real worker processes.
 
     The coordinator keeps per-owner pending queues and routes bounded
@@ -247,6 +325,13 @@ def _process_sweep(system, n_workers, collect, max_states, stats, packed):
     ``outstanding == 0`` with every pending queue empty is exact
     quiescence, because workers only create work as part of answering
     a batch the coordinator counted.
+
+    Fault tolerance (see the module docstring for the recovery
+    argument): the outbox wait polls with a timeout and re-checks
+    worker exit codes, dispatched batches live in ``ledger`` until
+    acknowledged, and a dead worker's lost batches are re-partitioned
+    over the survivors with already-expanded keys filtered out through
+    the acknowledged-key record.
     """
     ctx = (
         mp.get_context("fork")
@@ -254,11 +339,13 @@ def _process_sweep(system, n_workers, collect, max_states, stats, packed):
         else mp.get_context()
     )
     inboxes = [ctx.SimpleQueue() for _ in range(n_workers)]
-    outbox = ctx.SimpleQueue()
+    # a real Queue (not SimpleQueue): the coordinator needs a timed get
+    outbox = ctx.Queue()
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(system, n_workers, w, inboxes[w], outbox, collect, packed),
+            args=(system, n_workers, w, inboxes[w], outbox, collect, packed,
+                  faults.for_worker(w) if faults is not None else None),
             daemon=True,
         )
         for w in range(n_workers)
@@ -270,6 +357,15 @@ def _process_sweep(system, n_workers, collect, max_states, stats, packed):
     init = system.initial_state()
     init_item = init if codec is None else codec.encode(init)
 
+    live = list(range(n_workers))
+    dead: set[int] = set()
+    #: keys expanded by workers that later died (never re-dispatch these)
+    dead_visited: set = set()
+    #: per worker, the union of keys in batches it acknowledged — the
+    #: coordinator-side reconstruction of each worker's visited set
+    acked: list[set] = [set() for _ in range(n_workers)]
+    #: per worker, seq -> (depth, chunk) for every unacknowledged batch
+    ledger: list[dict[int, tuple[int, list]]] = [{} for _ in range(n_workers)]
     pending: list[list] = [[] for _ in range(n_workers)]
     pending[_owner(init_item, n_workers)].append((0, [init_item]))
     inflight = [0] * n_workers
@@ -281,71 +377,171 @@ def _process_sweep(system, n_workers, collect, max_states, stats, packed):
     n_dead = 0
     max_depth = 0
     total_batches = 0
+    next_seq = 0
     limit_hit = False
-    try:
+
+    def _push(w, depth, bucket):
+        queue = pending[w]
+        # coalesce with the tail entry of the same depth so trickling
+        # successor buckets form full batches
+        if queue and queue[-1][0] == depth and len(queue[-1][1]) < batch_size:
+            queue[-1] = (depth, queue[-1][1] + bucket)
+        else:
+            queue.append((depth, bucket))
+
+    def _route(orig_owner, depth, bucket):
+        # final routing decision: workers partition over the original
+        # worker count, so buckets aimed at a dead owner are
+        # re-partitioned here over the live list, dropping keys the
+        # dead owner had already expanded (they were counted once)
+        if orig_owner not in dead:
+            _push(orig_owner, depth, bucket)
+            return
+        regrouped: dict[int, list] = {}
+        for k in bucket:
+            if k in dead_visited:
+                continue
+            regrouped.setdefault(live_owner(k, live), []).append(k)
+        for w, items in regrouped.items():
+            _push(w, depth, items)
+
+    def _fill_stats():
+        stats.states = sum(sizes)
+        stats.transitions = n_trans
+        stats.deadlocks = n_dead
+        stats.per_worker_states = sizes
+        stats.per_worker_batches = n_batches
+        stats.levels = max_depth + 1
+        stats.batches = total_batches
+
+    def _reap(w):
+        nonlocal outstanding
+        live.remove(w)
+        dead.add(w)
+        stats.worker_deaths += 1
+        # a worker adds every item of a batch to its visited set before
+        # answering, so the acknowledged-key union *is* its visited set
+        sizes[w] = len(acked[w])
+        dead_visited.update(acked[w])
+        acked[w].clear()
+        lost = list(ledger[w].values())
+        outstanding -= len(ledger[w])
+        ledger[w].clear()
+        inflight[w] = 0
+        lost.extend(pending[w])
+        pending[w] = []
+        if not live:
+            _fill_stats()
+            raise WorkerFailureError(
+                f"all {n_workers} workers died before the sweep finished",
+                stats=stats,
+            )
+        stats.redispatched_batches += len(lost)
+        for depth, chunk in lost:
+            _route(w, depth, chunk)
+
+    def _handle(msg):
+        nonlocal outstanding, n_trans, n_dead, max_depth, limit_hit
+        if msg[0] != "done":
+            return
+        _tag, wid, seq, depth, buckets, t, d, n_visited, coll = msg
+        entry = ledger[wid].pop(seq, None)
+        if entry is None:
+            return  # late answer from a worker already reaped
+        acked[wid].update(entry[1])
+        inflight[wid] -= 1
+        outstanding -= 1
+        n_batches[wid] += 1
+        sizes[wid] = n_visited
+        n_trans += t
+        n_dead += d
+        transitions.extend(coll)
+        if depth > max_depth:
+            max_depth = depth
+        for w, bucket in enumerate(buckets):
+            if bucket:
+                _route(w, depth + 1, bucket)
+        if max_states is not None and sum(sizes) > max_states:
+            limit_hit = True
+
+    def _check_liveness():
+        crashed = [w for w in live if workers[w].exitcode is not None]
+        if not crashed:
+            return
+        # a worker's sends complete before it can show an exit code,
+        # so drain the already-delivered answers first: they finish
+        # the acknowledged-key record the re-dispatch relies on
         while True:
-            for w in range(n_workers):
+            try:
+                _handle(outbox.get_nowait())
+            except Empty:
+                break
+        for w in crashed:
+            if w in live:
+                _reap(w)
+
+    since_check = 0
+    try:
+        while not limit_hit:
+            for w in live:
                 queue = pending[w]
                 while queue and inflight[w] < _WINDOW:
                     depth, batch = queue[0]
-                    if len(batch) > _BATCH:
-                        chunk, rest = batch[:_BATCH], batch[_BATCH:]
+                    if len(batch) > batch_size:
+                        chunk, rest = batch[:batch_size], batch[batch_size:]
                         queue[0] = (depth, rest)
                     else:
                         chunk = batch
                         queue.pop(0)
-                    inboxes[w].put(("work", depth, chunk))
+                    ledger[w][next_seq] = (depth, chunk)
+                    inboxes[w].put(("work", next_seq, depth, chunk))
+                    next_seq += 1
                     inflight[w] += 1
                     outstanding += 1
                     total_batches += 1
             if outstanding == 0:
                 break  # nothing in flight, nothing pending: quiescent
-            msg = outbox.get()
-            _tag, wid, depth, buckets, t, d, n_visited, coll = msg
-            inflight[wid] -= 1
-            outstanding -= 1
-            n_batches[wid] += 1
-            sizes[wid] = n_visited
-            n_trans += t
-            n_dead += d
-            transitions.extend(coll)
-            max_depth = max(max_depth, depth)
-            for w, bucket in enumerate(buckets):
-                if bucket:
-                    queue = pending[w]
-                    # coalesce with the tail entry of the same depth so
-                    # trickling successor buckets form full batches
-                    if (
-                        queue
-                        and queue[-1][0] == depth + 1
-                        and len(queue[-1][1]) < _BATCH
-                    ):
-                        queue[-1] = (depth + 1, queue[-1][1] + bucket)
-                    else:
-                        queue.append((depth + 1, bucket))
-            if max_states is not None and sum(sizes) > max_states:
-                limit_hit = True
-                break
+            try:
+                msg = outbox.get(timeout=poll)
+            except Empty:
+                _check_liveness()
+                continue
+            _handle(msg)
+            since_check += 1
+            if since_check >= _CRASH_CHECK_EVERY:
+                since_check = 0
+                _check_liveness()
     finally:
-        for w in range(n_workers):
-            inboxes[w].put(None)
-        byes = 0
-        while byes < n_workers:
-            msg = outbox.get()
+        for w in live:
+            try:
+                inboxes[w].put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        awaiting = set(live)
+        deadline = time.monotonic() + 10.0
+        while awaiting and time.monotonic() < deadline:
+            try:
+                msg = outbox.get(timeout=0.25)
+            except Empty:
+                for w in list(awaiting):
+                    if workers[w].exitcode is not None:
+                        awaiting.discard(w)  # died during shutdown
+                continue
             if msg[0] == "bye":
                 sizes[msg[1]] = msg[2]
-                byes += 1
+                awaiting.discard(msg[1])
+            # residual "done" answers of an aborted sweep are dropped
         for p in workers:
-            p.join(timeout=10)
-    stats.states = sum(sizes)
-    stats.transitions = n_trans
-    stats.deadlocks = n_dead
-    stats.per_worker_states = sizes
-    stats.per_worker_batches = n_batches
-    stats.levels = max_depth + 1
-    stats.batches = total_batches
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover
+                p.terminate()
+                p.join(timeout=5)
+    _fill_stats()
+    stats.recovered = stats.worker_deaths > 0
     if limit_hit or (max_states is not None and stats.states > max_states):
-        raise ExplorationLimitError(f"state limit {max_states} exceeded")
+        raise ExplorationLimitError(
+            f"state limit {max_states} exceeded", stats=stats
+        )
     return transitions, init_item
 
 
@@ -357,6 +553,9 @@ def distributed_explore(
     collect: bool = False,
     max_states: int | None = None,
     packed: bool | None = None,
+    faults: FaultPlan | None = None,
+    poll_interval: float = _POLL,
+    batch_size: int | None = None,
 ) -> tuple[LTS | None, DistributedStats]:
     """Partitioned sweep of ``system`` (pipelined when ``"process"``).
 
@@ -375,31 +574,70 @@ def distributed_explore(
         :class:`LTS` is assembled (only sensible for small systems); the
         returned LTS is otherwise ``None``.
     max_states:
-        Abort when the visited total exceeds this bound.
+        Abort when the visited total exceeds this bound. The raised
+        :class:`~repro.errors.ExplorationLimitError` carries the
+        partially filled stats on its ``stats`` attribute.
     packed:
         Ship/store packed codec keys instead of state tuples. ``None``
         (default) auto-enables when the system provides a ``codec()``;
         ``True`` requires one; ``False`` forces tuple shipping.
+    faults:
+        Optional :class:`~repro.lts.faults.FaultPlan` injected into the
+        workers (``"process"`` backend only) — the test harness for the
+        crash-recovery path.
+    poll_interval:
+        Upper bound, in seconds, on how long the coordinator blocks
+        before re-checking worker liveness (``"process"`` backend).
+    batch_size:
+        States per work batch (``"process"`` backend; default 256).
+        Tests shrink it to force many batches on small systems.
 
     Returns
     -------
     (lts, stats):
-        ``lts`` is ``None`` unless ``collect`` was requested.
+        ``lts`` is ``None`` unless ``collect`` was requested. When
+        workers died mid-sweep, ``stats.recovered`` is true and the
+        totals are nevertheless exact.
+
+    Raises
+    ------
+    WorkerFailureError:
+        All workers died; detection (and therefore the raise) happens
+        within ``poll_interval`` of the last death, never a hang.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     if backend not in ("process", "inline"):
         raise ValueError(f"unknown backend {backend!r}")
+    if faults is not None and backend != "process":
+        raise ValueError("fault injection requires the 'process' backend")
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be positive")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     if packed is None:
         packed = getattr(system, "codec", None) is not None
     elif packed and getattr(system, "codec", None) is None:
         raise ValueError("packed=True needs a system with a codec()")
     stats = DistributedStats()
     t0 = time.perf_counter()
-    sweep = _inline_sweep if backend == "inline" else _process_sweep
-    transitions, init_item = sweep(
-        system, n_workers, collect, max_states, stats, packed
-    )
+    try:
+        if backend == "inline":
+            transitions, init_item = _inline_sweep(
+                system, n_workers, collect, max_states, stats, packed
+            )
+        else:
+            transitions, init_item = _process_sweep(
+                system, n_workers, collect, max_states, stats, packed,
+                faults=faults, poll=poll_interval,
+                batch_size=batch_size or _BATCH,
+            )
+    except (ExplorationLimitError, WorkerFailureError) as exc:
+        # an aborted sweep still reports how far it got and how long it ran
+        stats.seconds = time.perf_counter() - t0
+        if exc.stats is None:
+            exc.stats = stats
+        raise
     stats.seconds = time.perf_counter() - t0
 
     if not collect:

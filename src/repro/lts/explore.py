@@ -161,7 +161,10 @@ def breadth_first_states(
     """Yield the reachable states of ``system`` in BFS order.
 
     A lighter-weight alternative to :func:`explore` for analyses that do
-    not need the transition structure (e.g. invariant checking).
+    not need the transition structure (e.g. invariant checking). When
+    ``max_states`` is exceeded, the raised
+    :class:`~repro.errors.ExplorationLimitError` carries the set of
+    states discovered so far on its ``partial`` attribute.
     """
     init = system.initial_state()
     seen = {init}
@@ -175,7 +178,8 @@ def breadth_first_states(
                     seen.add(succ)
                     if max_states is not None and len(seen) > max_states:
                         raise ExplorationLimitError(
-                            f"state limit {max_states} exceeded"
+                            f"state limit {max_states} exceeded",
+                            partial=seen,
                         )
                     nxt.append(succ)
                     yield succ

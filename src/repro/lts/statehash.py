@@ -19,7 +19,7 @@ draw without changing equality semantics.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Sequence
 
 _MASK64 = (1 << 64) - 1
 
@@ -46,6 +46,21 @@ def state_key64(state: Hashable, key: int | None = None) -> int:
     for arbitrary hashable states.
     """
     return mix64(hash(state) if key is None else key)
+
+
+def live_owner(key: Hashable, live: Sequence[int]) -> int:
+    """The owner of ``key`` drawn from an explicit live-worker list.
+
+    Fault-tolerant partitioning: ownership is normally the mixed hash
+    reduced modulo the worker count, but when workers die the key
+    space they owned must be reassigned. Reducing the *same* mixed
+    hash modulo the live list keeps the assignment deterministic for a
+    given membership (every coordinator decision about ``key`` lands
+    on the same survivor) while spreading a dead worker's keys evenly
+    over all survivors — the avalanche property of :func:`mix64` makes
+    ``% len(live)`` a uniform draw for any list length.
+    """
+    return live[mix64(hash(key)) % len(live)]
 
 
 def double_hashes(h: int, k: int, n: int) -> list[int]:

@@ -62,6 +62,62 @@ def test_inline_max_states():
         )
 
 
+def test_inline_limit_fills_stats_and_attaches():
+    with pytest.raises(ExplorationLimitError) as ei:
+        distributed_explore(
+            Diamond(60), n_workers=2, backend="inline", max_states=100
+        )
+    stats = ei.value.stats
+    assert stats is not None
+    assert stats.states > 100
+    assert stats.seconds > 0.0
+    assert stats.levels > 0
+    assert sum(stats.per_worker_states) == stats.states
+
+
+@pytest.mark.slow
+def test_process_limit_fills_stats_and_attaches():
+    with pytest.raises(ExplorationLimitError) as ei:
+        distributed_explore(
+            Diamond(60), n_workers=2, backend="process", max_states=100,
+            batch_size=8,
+        )
+    stats = ei.value.stats
+    assert stats is not None
+    assert stats.states > 100
+    assert stats.seconds > 0.0
+
+
+class GeneratorDiamond(Diamond):
+    """Diamond whose ``successors`` is a generator, not a sequence.
+
+    The :class:`~repro.lts.explore.TransitionSystem` protocol only
+    promises an Iterable; ``_expand_batch`` used to call ``len()`` on
+    the result and silently dropped every transition of such systems.
+    """
+
+    def successors(self, s):
+        yield from Diamond.successors(self, s)
+
+
+def test_generator_successors_inline_backend():
+    sys_ = GeneratorDiamond(6)
+    exact = explore(sys_)
+    _lts, stats = distributed_explore(sys_, n_workers=3, backend="inline")
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+
+
+@pytest.mark.slow
+def test_generator_successors_process_backend():
+    sys_ = GeneratorDiamond(6)
+    exact = explore(sys_)
+    _lts, stats = distributed_explore(sys_, n_workers=2, backend="process")
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+
+
 def test_bad_arguments(chain_system):
     with pytest.raises(ValueError):
         distributed_explore(chain_system, n_workers=0)

@@ -98,6 +98,16 @@ def test_breadth_first_states_limit():
         list(breadth_first_states(Grid(50, 50), max_states=5))
 
 
+def test_breadth_first_states_limit_attaches_partial():
+    with pytest.raises(ExplorationLimitError) as ei:
+        list(breadth_first_states(Grid(50, 50), max_states=5))
+    # the discovered-so-far set rides on the exception, like the
+    # partial LTS does for explore(); the limit trips one state over
+    assert ei.value.partial is not None
+    assert len(ei.value.partial) == 6
+    assert (0, 0) in ei.value.partial
+
+
 def test_explore_deterministic(chain_system):
     a = explore(chain_system)
     b = explore(chain_system)

@@ -74,6 +74,31 @@ def test_narrate_nothing_to_tell(capsys):
     assert "nothing to narrate" in out
 
 
+def test_narrate_explicit_requirement_is_checked_directly(capsys):
+    # used to narrate a requirement-1 trace whenever one existed, even
+    # when --requirement 3.2 was asked for; now 3.2 is checked directly
+    code = main([
+        "narrate", "--config", "1", "--variant", "error1", "--cyclic",
+        "--requirement", "3.2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "requirement 3.2" in out
+    assert "nothing to narrate" in out
+    assert "never arrive" not in out  # no requirement-1 deadlock narration
+
+
+def test_narrate_requirement_32_counterexample(capsys):
+    code = main([
+        "narrate", "--config", "2", "--variant", "error2",
+        "--requirement", "3.2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "requirement 3.2" in out
+    assert "VIOLATED" in out
+
+
 def test_litmus(capsys):
     code = main(["litmus"])
     out = capsys.readouterr().out
@@ -109,6 +134,35 @@ def test_formula_no_probes(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "True" in out
+
+
+# -- repro bench fault injection --------------------------------------------
+
+
+@pytest.mark.slow
+def test_bench_inject_fault_recovers(capsys):
+    code = main([
+        "bench", "--config", "1", "--rounds", "1", "--workers", "2",
+        "--backends", "distributed", "--batch-size", "32",
+        "--inject-fault", "kill:0@2",
+    ])
+    out = capsys.readouterr().out
+    # the cross-check passed: the crashed sweep reproduced the serial
+    # counts exactly, and the recovery is reported
+    assert code == 0
+    assert "worker_deaths=1" in out
+    assert "recovered=True" in out
+
+
+def test_bench_bad_fault_spec_exits_2(capsys):
+    code = main([
+        "bench", "--config", "1", "--rounds", "1",
+        "--backends", "distributed", "--inject-fault", "fry:0@1",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+    assert "fault spec" in err
 
 
 # -- repro lint ------------------------------------------------------------
