@@ -175,6 +175,15 @@ def _cmd_bench(args) -> int:
     if args.inject_fault:
         from repro.lts.faults import FaultPlan
 
+        if "distributed" not in backends:
+            # a fault plan that no backend would exercise must not be
+            # silently ignored — the "benchmark" would claim recovery
+            # coverage it never ran
+            raise ReproError(
+                "--inject-fault targets the distributed backend, but "
+                f"--backends {args.backends!r} does not include "
+                "'distributed'"
+            )
         faults = FaultPlan.parse(",".join(args.inject_fault))
     try:
         report = bench_explore(

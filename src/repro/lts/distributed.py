@@ -37,13 +37,22 @@ worker ``exitcode`` checks (a dead worker is detected within the poll
 interval), every dispatched batch is held in a per-worker in-flight
 ledger until its completion message arrives, and on a crash the dead
 worker's lost batches — in flight and pending — are re-partitioned
-over the surviving workers (:func:`repro.lts.statehash.live_owner`).
+over the surviving workers (:func:`repro.lts.statehash.live_owner`,
+rendezvous hashing: the assignment is stable under *further* crashes,
+so a key re-routed to one survivor never silently migrates to — and
+gets re-counted by — another when a second worker dies later).
 The crashed worker's visited set dies with it, but the coordinator
 reconstructs it exactly from the ledger of batches the worker
 *acknowledged* (a worker adds every item of a batch to its visited set
 before answering), so re-routed states that were already expanded are
 dropped instead of expanded twice: a sweep that loses workers still
-reports exact state/transition totals. Recovery is observable through
+reports exact state/transition totals. The acknowledged-key ledger is
+kept in compact packed form (a fixed-width byte buffer per worker —
+roughly the codec key width per state rather than a duplicate Python
+set) and can be switched off entirely with ``fault_tolerant=False``
+for sweeps so large that the coordinator must not hold any per-state
+record; crashes then still fail fast instead of hanging, they just
+cannot be recovered from. Recovery is observable through
 :class:`DistributedStats` (``worker_deaths``, ``redispatched_batches``,
 ``recovered``) and reproducible on demand through the fault-injection
 harness in :mod:`repro.lts.faults`. Only when *every* worker dies does
@@ -111,7 +120,7 @@ class DistributedStats:
         Visited-set size per worker; the balance of this vector is the
         classical health metric of hash partitioning. For a crashed
         worker this is the size its visited set had reached when it
-        died (reconstructed from the acknowledged-batch ledger).
+        died (the count carried by its last acknowledged batch).
     per_worker_batches:
         Work batches each worker expanded (pipelined backend only);
         measures scheduling balance as opposed to storage balance.
@@ -164,6 +173,75 @@ def _owner(state: Hashable, n: int) -> int:
     partitions.
     """
     return mix64(hash(state)) % n
+
+
+class _AckLedger:
+    """Compact per-worker record of acknowledged batch keys.
+
+    A worker adds every item of a batch to its visited set before
+    answering, so the union of its acknowledged batches *is* its
+    visited set — the record that lets the coordinator drop re-routed
+    keys a dead worker had already expanded (and counted). Holding that
+    union as a Python set would duplicate every worker's visited set at
+    the coordinator and defeat the memory-scaling point of hash
+    partitioning, so packed codec keys are instead appended to a
+    fixed-width byte buffer — roughly the key width per state, widened
+    in place the first time a larger key arrives — and only
+    materialised into a set on the (rare) crash path. Non-integer
+    states (tuple shipping) have no compact form and fall back to a
+    set.
+    """
+
+    __slots__ = ("_width", "_buf", "_set")
+
+    def __init__(self):
+        self._width = 1
+        self._buf = bytearray()
+        self._set: set | None = None
+
+    def _rewiden(self, width: int) -> None:
+        old, buf = self._width, self._buf
+        out = bytearray(len(buf) // old * width)
+        for i in range(len(buf) // old):
+            out[i * width: i * width + old] = buf[i * old: (i + 1) * old]
+        self._width, self._buf = width, out
+
+    def _add_packed(self, keys) -> None:
+        width = self._width
+        for k in keys:
+            n = (k.bit_length() + 7) // 8 or 1
+            if n > width:
+                self._rewiden(n)
+                width = n
+            self._buf += k.to_bytes(width, "little")
+
+    def add(self, keys) -> None:
+        """Record the keys of one acknowledged batch."""
+        if self._set is None:
+            try:
+                self._add_packed(keys)
+                return
+            except (AttributeError, OverflowError):
+                # not non-negative ints: keep whatever packed cleanly
+                # (to_set dedups the partially appended batch) and
+                # continue in set mode
+                self._set = self.to_set()
+                self._buf = bytearray()
+        self._set.update(keys)
+
+    def to_set(self) -> set:
+        """The acknowledged-key union as a set (the crash path)."""
+        if self._set is not None:
+            return set(self._set)
+        w, buf = self._width, self._buf
+        return {
+            int.from_bytes(buf[i: i + w], "little")
+            for i in range(0, len(buf), w)
+        }
+
+    def clear(self) -> None:
+        self._buf = bytearray()
+        self._set = None
 
 
 def _expand_batch(system, batch, visited, collect, decode=None, succ=None):
@@ -315,6 +393,7 @@ def _process_sweep(
     faults: FaultPlan | None = None,
     poll: float = _POLL,
     batch_size: int = _BATCH,
+    fault_tolerant: bool = True,
 ):
     """The pipelined partitioned sweep with real worker processes.
 
@@ -331,7 +410,11 @@ def _process_sweep(
     worker exit codes, dispatched batches live in ``ledger`` until
     acknowledged, and a dead worker's lost batches are re-partitioned
     over the survivors with already-expanded keys filtered out through
-    the acknowledged-key record.
+    the acknowledged-key record (``acked``, a compact
+    :class:`_AckLedger` per worker). ``fault_tolerant=False`` drops the
+    record entirely — no per-state coordinator memory — at the price of
+    turning any worker death into an immediate
+    :class:`~repro.errors.WorkerFailureError` instead of a recovery.
     """
     ctx = (
         mp.get_context("fork")
@@ -359,11 +442,15 @@ def _process_sweep(
 
     live = list(range(n_workers))
     dead: set[int] = set()
-    #: keys expanded by workers that later died (never re-dispatch these)
+    #: keys expanded by workers that later died (never re-dispatch
+    #: these); populated — and therefore O(states) — only after a crash
     dead_visited: set = set()
     #: per worker, the union of keys in batches it acknowledged — the
-    #: coordinator-side reconstruction of each worker's visited set
-    acked: list[set] = [set() for _ in range(n_workers)]
+    #: coordinator-side reconstruction of each worker's visited set,
+    #: kept compact (see :class:`_AckLedger`) or not at all
+    acked: list[_AckLedger] | None = (
+        [_AckLedger() for _ in range(n_workers)] if fault_tolerant else None
+    )
     #: per worker, seq -> (depth, chunk) for every unacknowledged batch
     ledger: list[dict[int, tuple[int, list]]] = [{} for _ in range(n_workers)]
     pending: list[list] = [[] for _ in range(n_workers)]
@@ -392,8 +479,10 @@ def _process_sweep(
     def _route(orig_owner, depth, bucket):
         # final routing decision: workers partition over the original
         # worker count, so buckets aimed at a dead owner are
-        # re-partitioned here over the live list, dropping keys the
-        # dead owner had already expanded (they were counted once)
+        # re-partitioned here over the live list — rendezvous hashing,
+        # so the chosen survivor for a key does not change when the
+        # membership shrinks again — dropping keys the dead owner had
+        # already expanded (they were counted once)
         if orig_owner not in dead:
             _push(orig_owner, depth, bucket)
             return
@@ -419,10 +508,20 @@ def _process_sweep(
         live.remove(w)
         dead.add(w)
         stats.worker_deaths += 1
+        if acked is None:
+            # no acknowledged-key record was kept, so a recovery could
+            # not be exact; fail fast (still within the poll bound)
+            _fill_stats()
+            raise WorkerFailureError(
+                f"worker {w} died and fault_tolerant=False disabled the "
+                f"recovery ledger; partial results are on .stats",
+                stats=stats,
+            )
         # a worker adds every item of a batch to its visited set before
         # answering, so the acknowledged-key union *is* its visited set
-        sizes[w] = len(acked[w])
-        dead_visited.update(acked[w])
+        # (sizes[w] already holds its last reported count, which equals
+        # that union's size — _check_liveness drained the outbox first)
+        dead_visited.update(acked[w].to_set())
         acked[w].clear()
         lost = list(ledger[w].values())
         outstanding -= len(ledger[w])
@@ -448,7 +547,8 @@ def _process_sweep(
         entry = ledger[wid].pop(seq, None)
         if entry is None:
             return  # late answer from a worker already reaped
-        acked[wid].update(entry[1])
+        if acked is not None:
+            acked[wid].add(entry[1])
         inflight[wid] -= 1
         outstanding -= 1
         n_batches[wid] += 1
@@ -556,6 +656,7 @@ def distributed_explore(
     faults: FaultPlan | None = None,
     poll_interval: float = _POLL,
     batch_size: int | None = None,
+    fault_tolerant: bool = True,
 ) -> tuple[LTS | None, DistributedStats]:
     """Partitioned sweep of ``system`` (pipelined when ``"process"``).
 
@@ -591,6 +692,16 @@ def distributed_explore(
     batch_size:
         States per work batch (``"process"`` backend; default 256).
         Tests shrink it to force many batches on small systems.
+    fault_tolerant:
+        ``"process"`` backend: keep the acknowledged-key ledger that
+        makes crash recovery exact. The ledger is compact — roughly one
+        packed-key width per state at the coordinator, not a duplicate
+        of the workers' visited sets — but it is still per-state
+        memory; pass ``False`` for sweeps so large that the coordinator
+        must hold none, accepting that any worker death then raises
+        :class:`~repro.errors.WorkerFailureError` (with partial stats
+        attached) instead of recovering. Crash *detection* stays on
+        either way: the coordinator never hangs on a dead worker.
 
     Returns
     -------
@@ -602,8 +713,9 @@ def distributed_explore(
     Raises
     ------
     WorkerFailureError:
-        All workers died; detection (and therefore the raise) happens
-        within ``poll_interval`` of the last death, never a hang.
+        All workers died — or any worker died while
+        ``fault_tolerant=False``; detection (and therefore the raise)
+        happens within ``poll_interval`` of the death, never a hang.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -631,6 +743,7 @@ def distributed_explore(
                 system, n_workers, collect, max_states, stats, packed,
                 faults=faults, poll=poll_interval,
                 batch_size=batch_size or _BATCH,
+                fault_tolerant=fault_tolerant,
             )
     except (ExplorationLimitError, WorkerFailureError) as exc:
         # an aborted sweep still reports how far it got and how long it ran

@@ -37,6 +37,23 @@ from typing import Callable, Hashable
 from repro.errors import ReproError
 
 
+def _count(text: str) -> int:
+    """A non-negative batch count (negatives are parse errors)."""
+    n = int(text)
+    if n < 0:
+        raise ValueError(text)
+    return n
+
+
+def _seconds(text: str) -> float:
+    """A non-negative, finite delay — ``time.sleep`` rejects negatives
+    inside the worker, which would turn a typo into a fake crash."""
+    d = float(text)
+    if not (0.0 <= d < float("inf")):  # also rejects NaN
+        raise ValueError(text)
+    return d
+
+
 class FaultInjection(RuntimeError):
     """A deliberately injected worker failure.
 
@@ -103,11 +120,11 @@ class FaultPlan:
                 if wid < 0:
                     raise ValueError(wid)
                 if kind == "kill":
-                    plan.kill[wid] = int(arg)
+                    plan.kill[wid] = _count(arg)
                 elif kind == "raise":
-                    plan.raise_in[wid] = int(arg)
+                    plan.raise_in[wid] = _count(arg)
                 elif kind == "delay":
-                    plan.delay[wid] = float(arg)
+                    plan.delay[wid] = _seconds(arg)
                 else:
                     raise ValueError(kind)
             except ValueError as exc:

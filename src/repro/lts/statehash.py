@@ -51,16 +51,29 @@ def state_key64(state: Hashable, key: int | None = None) -> int:
 def live_owner(key: Hashable, live: Sequence[int]) -> int:
     """The owner of ``key`` drawn from an explicit live-worker list.
 
-    Fault-tolerant partitioning: ownership is normally the mixed hash
-    reduced modulo the worker count, but when workers die the key
-    space they owned must be reassigned. Reducing the *same* mixed
-    hash modulo the live list keeps the assignment deterministic for a
-    given membership (every coordinator decision about ``key`` lands
-    on the same survivor) while spreading a dead worker's keys evenly
-    over all survivors — the avalanche property of :func:`mix64` makes
-    ``% len(live)`` a uniform draw for any list length.
+    Fault-tolerant partitioning: when workers die, the key space they
+    owned must be reassigned to survivors. The assignment is rendezvous
+    (highest-random-weight) hashing: every worker gets a per-key score
+    — an independent mix of the key's hash and the worker id — and the
+    highest-scoring live worker owns the key. Unlike reducing the hash
+    modulo ``len(live)``, this is **stable under further shrinkage**:
+    removing any worker other than the chosen one never changes the
+    choice, so a key re-routed to survivor *A* after one crash keeps
+    routing to *A* across later crashes for as long as *A* lives —
+    which is what lets *A*'s visited set deduplicate rediscoveries
+    instead of a second survivor expanding (and counting) the key
+    again. The avalanche property of :func:`mix64` makes the per-key
+    scores independent across workers, so a dead worker's keys still
+    spread evenly over all survivors.
     """
-    return live[mix64(hash(key)) % len(live)]
+    h = mix64(hash(key))
+    best = live[0]
+    best_score = -1
+    for w in live:
+        score = mix64(h ^ ((w + 1) * GOLDEN_GAMMA))
+        if score > best_score:
+            best_score, best = score, w
+    return best
 
 
 def double_hashes(h: int, k: int, n: int) -> list[int]:

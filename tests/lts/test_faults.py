@@ -50,7 +50,14 @@ def test_fault_plan_parse():
 
 @pytest.mark.parametrize(
     "bad",
-    ["kill", "kill:x@2", "fry:0@1", "kill:0", "delay:1@fast", "kill:-1@2"],
+    [
+        "kill", "kill:x@2", "fry:0@1", "kill:0", "delay:1@fast",
+        "kill:-1@2",
+        # negative/non-finite arguments must be parse errors, not
+        # in-worker failures (time.sleep(-1) would fake a crash)
+        "delay:0@-1", "delay:0@nan", "delay:0@inf",
+        "kill:0@-2", "raise:1@-1",
+    ],
 )
 def test_fault_plan_parse_rejects_garbage(bad):
     with pytest.raises(ReproError):
@@ -69,6 +76,39 @@ def test_bad_poll_and_batch_arguments():
         distributed_explore(Diamond(4), backend="inline", poll_interval=0.0)
     with pytest.raises(ValueError):
         distributed_explore(Diamond(4), backend="inline", batch_size=0)
+
+
+# -- the compact acknowledged-key ledger ------------------------------------
+
+
+def test_ack_ledger_packs_ints_and_rewidens():
+    from repro.lts.distributed import _AckLedger
+
+    led = _AckLedger()
+    led.add([1, 255])                       # fits in one byte
+    led.add([2**72 + 1, 7])                 # forces a re-widening
+    led.add([0, 255, 2**31])
+    assert led.to_set() == {1, 255, 2**72 + 1, 7, 0, 2**31}
+    led.clear()
+    assert led.to_set() == set()
+
+
+def test_ack_ledger_falls_back_to_sets_for_tuples():
+    from repro.lts.distributed import _AckLedger
+
+    led = _AckLedger()
+    led.add([3, 9])                         # packed...
+    led.add([(0, 1), (2, 3)])               # ...then tuple states arrive
+    led.add([(0, 1), 11])
+    assert led.to_set() == {3, 9, (0, 1), (2, 3), 11}
+
+
+def test_ack_ledger_handles_negative_ints_via_set_mode():
+    from repro.lts.distributed import _AckLedger
+
+    led = _AckLedger()
+    led.add([5, -3, 8])                     # negatives force set mode
+    assert led.to_set() == {5, -3, 8}
 
 
 # -- crash recovery ---------------------------------------------------------
@@ -91,6 +131,32 @@ def test_kill_one_worker_recovers_exact_counts():
     assert stats.recovered
     # the dead worker keeps its reconstructed visited-set size, and the
     # per-worker totals still add up to the exact state count
+    assert sum(stats.per_worker_states) == stats.states
+
+
+@pytest.mark.slow
+def test_two_kills_at_different_times_recover_exact_counts():
+    """Two deaths at different points of the sweep, >= 4 workers.
+
+    Regression for the re-route instability bug: with a modulo-style
+    live-list assignment, a key owned by the first dead worker could be
+    re-routed to survivor A, counted, and then — after the second death
+    re-shuffled the assignment — re-routed to survivor B and counted
+    again. Rendezvous hashing keeps the assignment stable, so the
+    totals must stay exact across successive crashes.
+    """
+    sys_ = Diamond(26)
+    exact = explore(sys_)
+    _lts, stats = distributed_explore(
+        sys_, n_workers=4, backend="process",
+        faults=FaultPlan.parse("kill:0@1,kill:1@6"),
+        batch_size=4, poll_interval=0.05,
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+    assert stats.worker_deaths == 2
+    assert stats.recovered
     assert sum(stats.per_worker_states) == stats.states
 
 
@@ -178,6 +244,38 @@ def test_all_workers_dead_raises_within_bounded_time():
     assert stats.worker_deaths == 2
     assert not stats.recovered
     assert stats.seconds > 0.0
+
+
+@pytest.mark.slow
+def test_fault_tolerant_false_fails_fast_instead_of_recovering():
+    """Opting out of the recovery ledger turns a crash into a clean,
+    bounded-time failure (never a hang, never a silent overcount)."""
+    t0 = time.monotonic()
+    with pytest.raises(WorkerFailureError) as ei:
+        distributed_explore(
+            Diamond(30), n_workers=2, backend="process",
+            faults=FaultPlan.parse("kill:0@1"),
+            batch_size=8, poll_interval=0.05, fault_tolerant=False,
+        )
+    assert time.monotonic() - t0 < 10.0
+    stats = ei.value.stats
+    assert stats is not None
+    assert stats.worker_deaths == 1
+    assert not stats.recovered
+    assert stats.seconds > 0.0
+
+
+@pytest.mark.slow
+def test_fault_tolerant_false_fault_free_sweep_is_exact():
+    sys_ = Diamond(12)
+    exact = explore(sys_)
+    _lts, stats = distributed_explore(
+        sys_, n_workers=2, backend="process", fault_tolerant=False,
+        batch_size=8,
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.worker_deaths == 0
 
 
 @pytest.mark.slow

@@ -154,6 +154,19 @@ def test_bench_inject_fault_recovers(capsys):
     assert "recovered=True" in out
 
 
+def test_bench_inject_fault_without_distributed_backend_exits_2(capsys):
+    # a fault plan that would never be exercised must be an error, not
+    # a silently fault-free benchmark
+    code = main([
+        "bench", "--config", "1", "--rounds", "1",
+        "--backends", "serial,engine", "--inject-fault", "kill:0@1",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+    assert "distributed" in err
+
+
 def test_bench_bad_fault_spec_exits_2(capsys):
     code = main([
         "bench", "--config", "1", "--rounds", "1",
