@@ -131,3 +131,122 @@ def test_growth_in_rounds(once):
     print()
     print(Table("growth in rounds (config 1)",
                 ["rounds", "states", "transitions"], rows).render())
+
+
+# -- flight-recorder overhead gate ------------------------------------------
+
+
+def _baseline_engine(system):
+    """Frozen copy of the engine's tight loop as it stood before the
+    flight recorder landed (PR 2's ``explore_fast`` fast path,
+    including the stats bookkeeping and columnar LTS adoption) — the
+    un-instrumented reference the overhead gate compares against.
+    """
+    import gc
+    from array import array
+
+    from repro.lts.lts import LTS
+
+    succ = getattr(system, "successors_fast", None) or system.successors
+    init = system.initial_state()
+    index = {init: 0}
+    n = 1
+    src = array("i")
+    lbl = array("i")
+    dst = array("i")
+    src_append = src.append
+    lbl_append = lbl.append
+    dst_append = dst.append
+    labels = []
+    labels_append = labels.append
+    lmap = {}
+    lmap_get = lmap.get
+    index_setdefault = index.setdefault
+    frontier = [(0, init)]
+    depth = 0
+    level_sizes = [1]
+    max_frontier = 1
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while frontier:
+            next_frontier = []
+            nf_append = next_frontier.append
+            for sidx, state in frontier:
+                for label, nxt in succ(state):
+                    didx = index_setdefault(nxt, n)
+                    if didx == n:
+                        n += 1
+                        nf_append((didx, nxt))
+                    lid = lmap_get(label)
+                    if lid is None:
+                        lid = lmap[label] = len(labels)
+                        labels_append(label)
+                    src_append(sidx)
+                    lbl_append(lid)
+                    dst_append(didx)
+            depth += 1
+            frontier = next_frontier
+            if frontier:
+                level_sizes.append(len(frontier))
+                if len(frontier) > max_frontier:
+                    max_frontier = len(frontier)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    out = LTS.from_columns(
+        initial=0, n_states=n, src=src, lbl=lbl, dst=dst, labels=labels
+    )
+    out.state_meta = {}
+    return out
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_instrumentation_disabled_overhead(once):
+    """Disabled instrumentation costs <= 3% on the engine's tight loop.
+
+    The flight recorder's contract: when nothing is recording, the
+    engine must run within 3% of the frozen pre-instrumentation loop
+    above. Interleaved min-of-5 timings absorb scheduler noise; the
+    comparison is retried up to 3 times before failing so one noisy
+    round cannot flake the gate.
+    """
+    import math
+    import time
+
+    cfg = Config(
+        threads_per_processor=(1, 1, 1), rounds=1, with_probes=False
+    )
+    model = JackalModel(cfg, ProtocolVariant.fixed())
+
+    def measure():
+        _baseline_engine(model)  # warm both paths before timing
+        explore_fast(model)
+        base = cur = math.inf
+        for _ in range(5):
+            t = time.perf_counter()
+            _baseline_engine(model)
+            base = min(base, time.perf_counter() - t)
+            t = time.perf_counter()
+            explore_fast(model)
+            cur = min(cur, time.perf_counter() - t)
+        return base, cur
+
+    def run():
+        for _attempt in range(3):
+            base, cur = measure()
+            if cur <= 1.03 * base:
+                break
+        return base, cur
+
+    base, cur = once(run)
+    # same sweep: the baseline and the engine must agree exactly
+    lts = explore_fast(model)
+    ref = _baseline_engine(model)
+    assert (lts.n_states, lts.n_transitions) == (ref.n_states, ref.n_transitions)
+    ratio = cur / base if base > 0 else 1.0
+    print(f"\nbaseline {base:.3f}s  engine {cur:.3f}s  ratio {ratio:.3f}")
+    assert cur <= 1.03 * base, (
+        f"instrumentation-disabled engine {cur:.3f}s exceeds 3% over the "
+        f"un-instrumented baseline {base:.3f}s (ratio {ratio:.3f})"
+    )

@@ -11,14 +11,18 @@ checking, trace narration — as subcommands::
     python -m repro litmus
     python -m repro formula --config 1 '[T*.c_home] F'
     python -m repro bench   --config 1 --out BENCH_explore.json --profile
+    python -m repro explore --config 1 --trace sweep.jsonl --metrics-out m.json
+    python -m repro report  sweep.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import sys
 
+from repro import obs
 from repro.analysis.explain import narrate_trace
 from repro.analysis.reporting import Table
 from repro.errors import ReproError
@@ -71,13 +75,70 @@ def _add_model_args(p: argparse.ArgumentParser) -> None:
                    help="abort beyond this many states")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument("--trace", default=None, metavar="JSONL",
+                   help="record a structured event trace to this file "
+                   "(render it later with `repro report`)")
+    g.add_argument("--trace-ring", type=int, default=None, metavar="N",
+                   help="keep only the last N events (bounded memory; "
+                   "with --trace the retained tail is written at exit)")
+    g.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write final metrics to this file (JSON, or "
+                   "Prometheus text if the path ends in .prom)")
+    g.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr while exploring")
+
+
+@contextlib.contextmanager
+def _instrumented(args):
+    """Activate the flight recorder the obs flags ask for (or NULL).
+
+    On exit the trace file is closed and the metrics snapshot written,
+    even when the command fails — a wedged sweep still leaves its
+    black box behind.
+    """
+    trace = getattr(args, "trace", None)
+    ring = getattr(args, "trace_ring", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    progress = getattr(args, "progress", False)
+    if not (trace or ring or metrics_out or progress):
+        yield obs.NULL
+        return
+    registry = obs.MetricsRegistry() if metrics_out else None
+    tracer = obs.Tracer(path=trace, ring=ring) if (trace or ring) else None
+    reporter = obs.ProgressReporter() if progress else None
+    inst = obs.Instrumentation(registry, tracer, reporter)
+    try:
+        with obs.activate(inst):
+            yield inst
+    finally:
+        inst.close()
+        if trace:
+            print(f"written: {trace}", file=sys.stderr)
+        if metrics_out:
+            rendered = (
+                registry.render_prometheus()
+                if metrics_out.endswith(".prom")
+                else registry.render_json() + "\n"
+            )
+            with open(metrics_out, "w") as fh:
+                fh.write(rendered)
+            print(f"written: {metrics_out}", file=sys.stderr)
+
+
 def _cmd_check(args) -> int:
     cfg = _config(args)
     variant = _VARIANTS[args.variant]()
+    with _instrumented(args):
+        return _run_check(args, cfg, variant)
+
+
+def _run_check(args, cfg, variant) -> int:
     if args.requirement:
         rep = _CHECKS[args.requirement](cfg, variant, max_states=args.max_states)
         print(rep.summary())
-        if rep.trace is not None and args.trace:
+        if rep.trace is not None and args.show_trace:
             print(rep.trace.format())
         return 0 if rep.holds else 1
     results = check_all_requirements(cfg, variant, max_states=args.max_states)
@@ -102,9 +163,10 @@ def _cmd_explore(args) -> int:
 
     cfg = _config(args)
     variant = _VARIANTS[args.variant]()
-    _model, lts = build_lts(
-        cfg, variant, probes=args.probes, max_states=args.max_states
-    )
+    with _instrumented(args):
+        _model, lts = build_lts(
+            cfg, variant, probes=args.probes, max_states=args.max_states
+        )
     summary = lts_summary(lts)
     print(Table(f"LTS of config {args.config} ({variant.describe()})",
                 list(summary.as_row()), [summary.as_row()]).render())
@@ -186,15 +248,16 @@ def _cmd_bench(args) -> int:
             )
         faults = FaultPlan.parse(",".join(args.inject_fault))
     try:
-        report = bench_explore(
-            model,
-            backends=backends,
-            n_workers=args.workers,
-            repeats=args.repeats,
-            profile=args.profile,
-            faults=faults,
-            batch_size=args.batch_size,
-        )
+        with _instrumented(args):
+            report = bench_explore(
+                model,
+                backends=backends,
+                n_workers=args.workers,
+                repeats=args.repeats,
+                profile=args.profile,
+                faults=faults,
+                batch_size=args.batch_size,
+            )
     except BenchMismatchError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 2
@@ -219,6 +282,25 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.obs.report import report_from_file
+
+    try:
+        rendered = report_from_file(args.tracefile)
+    except BrokenPipeError:
+        raise
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {args.tracefile!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"malformed trace {args.tracefile!r}: {exc.msg}"
+        ) from exc
+    print(rendered)
     return 0
 
 
@@ -290,8 +372,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_model_args(p)
     p.add_argument("--requirement", choices=sorted(_CHECKS), default=None,
                    help="check one requirement (default: all)")
-    p.add_argument("--trace", action="store_true",
+    p.add_argument("--show-trace", action="store_true",
                    help="print the counterexample trace if any")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("explore", help="generate the LTS, optionally to .aut")
@@ -299,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--probes", action="store_true",
                    help="include the observability probe self-loops")
     p.add_argument("--aut", default=None, help="write the LTS to this path")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser("table8", help="regenerate the paper's Table 8")
@@ -343,7 +427,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the report (e.g. BENCH_explore.json)")
     p.add_argument("--min-sps", type=float, default=None,
                    help="exit 1 if the best backend is slower than this")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "report", help="render a recorded --trace file as a timeline"
+    )
+    p.add_argument("tracefile", metavar="TRACE",
+                   help="JSONL trace written by --trace")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("litmus", help="JMM conformance of the DSM runtime")
     p.set_defaults(fn=_cmd_litmus)

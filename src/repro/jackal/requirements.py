@@ -16,9 +16,12 @@ requirement fails — the reproduction of the paper's error traces.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, replace
 
 from repro.jackal.actions import ASSERTION_PREFIX, PROBE_LABELS, Labels
+from repro.obs.core import current as _current_obs
 from repro.jackal.model import VIOLATION, JackalModel
 from repro.jackal.params import Config, ProtocolVariant
 from repro.lts.deadlock import find_deadlocks, shortest_trace_to
@@ -63,6 +66,35 @@ class RequirementReport:
         return f"requirement {self.requirement}: {verdict}{extra}"
 
 
+def _observed(fn):
+    """Record each requirement check on the ambient flight recorder.
+
+    Emits one ``check`` event (requirement id, verdict, LTS sizes,
+    wall seconds) and bumps the check counters; free when nothing is
+    recording.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        obs = _current_obs()
+        if not obs.enabled:
+            return fn(*args, **kwargs)
+        t0 = time.perf_counter()
+        rep = fn(*args, **kwargs)
+        obs.tracer.emit(
+            "check", requirement=rep.requirement, holds=rep.holds,
+            states=rep.lts_states, transitions=rep.lts_transitions,
+            seconds=round(time.perf_counter() - t0, 6),
+        )
+        obs.metrics.counter(
+            "repro_checks_total",
+            verdict="holds" if rep.holds else "violated",
+        ).inc()
+        return rep
+
+    return wrapper
+
+
 def build_model(
     config: Config, variant: ProtocolVariant, *, probes: bool
 ) -> JackalModel:
@@ -100,6 +132,7 @@ def build_lts(
 # ---------------------------------------------------------------------------
 
 
+@_observed
 def check_requirement_1(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),
@@ -129,6 +162,7 @@ def check_requirement_1(
     )
 
 
+@_observed
 def check_requirement_1_bitstate(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),
@@ -172,6 +206,7 @@ def check_requirement_1_bitstate(
 # ---------------------------------------------------------------------------
 
 
+@_observed
 def check_requirement_2(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),
@@ -231,6 +266,7 @@ def formula_3_2_bad_state() -> Formula:
     return Diamond(RStar(RAct(AnyAct())), probes)
 
 
+@_observed
 def check_requirement_3_1(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),
@@ -256,6 +292,7 @@ def check_requirement_3_1(
     )
 
 
+@_observed
 def check_requirement_3_2(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),
@@ -331,6 +368,7 @@ def _inevitability(start: str, finish: str, fair: bool) -> Formula:
     return Box(after_start, inner)
 
 
+@_observed
 def check_requirement_4(
     config: Config,
     variant: ProtocolVariant = ProtocolVariant.fixed(),

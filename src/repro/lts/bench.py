@@ -19,6 +19,14 @@ The resulting report is a plain dict so the CLI can dump it as
     ``imbalance``, ``batches``).
 ``speedup``
     each backend's throughput relative to the serial reference.
+``phases``
+    per-phase seconds (successor generation / dedup / transport) from
+    one extra instrumented engine pass — the timed runs themselves stay
+    un-instrumented.
+``metrics``
+    the metrics snapshot of that pass, plus the distributed backend's
+    recovery counters (worker deaths, re-dispatched batches) when it
+    ran.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import sys
 from repro.lts.distributed import distributed_explore
 from repro.lts.engine import explore_fast
 from repro.lts.explore import ExplorationStats, TransitionSystem, explore
+from repro.obs import Instrumentation, MetricsRegistry, Tracer, phase_breakdown
 
 #: backends in report order
 BACKENDS = ("serial", "engine", "engine-packed", "distributed")
@@ -157,6 +166,23 @@ def bench_explore(
         report["speedup"][name] = (
             row["states_per_second"] / serial_sps if serial_sps else 0.0
         )
+
+    # one extra instrumented engine pass feeds the phase breakdown and
+    # metrics snapshot — never the timed runs above, so the throughput
+    # numbers stay un-instrumented
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with Instrumentation(metrics=registry, tracer=tracer) as inst:
+        explore_fast(system, obs=inst)
+    report["phases"] = phase_breakdown(tracer.events())
+    metrics = registry.snapshot()
+    if best_dist is not None:
+        metrics["repro_dist_worker_deaths_total"] = best_dist.worker_deaths
+        metrics["repro_dist_redispatched_batches_total"] = (
+            best_dist.redispatched_batches
+        )
+        metrics["repro_dist_recovered"] = int(best_dist.recovered)
+    report["metrics"] = metrics
 
     if profile:
         prof = cProfile.Profile()

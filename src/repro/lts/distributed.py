@@ -88,6 +88,7 @@ from repro.lts.explore import TransitionSystem
 from repro.lts.faults import FaultPlan, WorkerFault, crash_process
 from repro.lts.lts import LTS
 from repro.lts.statehash import live_owner, mix64
+from repro.obs.core import current as _current_obs
 
 #: states per work batch (packed keys are ~20 bytes, so a batch fits
 #: comfortably in an OS pipe buffer and never blocks the coordinator)
@@ -141,6 +142,16 @@ class DistributedStats:
         ran to its normal end on the survivors.
     seconds:
         Wall-clock duration.
+    worker_succ_s / worker_expand_s:
+        Summed worker-side seconds spent generating successors /
+        expanding whole batches (dedup + successor generation). Filled
+        only on instrumented sweeps (the flight recorder active);
+        0.0 otherwise — worker-side timing is off the hot path by
+        default.
+    coord_put_s / coord_handle_s / coord_idle_s:
+        Coordinator-side seconds spent serialising batches onto worker
+        inboxes / handling completion messages / blocked in timed
+        outbox waits that expired. Instrumented sweeps only.
     """
 
     states: int = 0
@@ -154,6 +165,11 @@ class DistributedStats:
     redispatched_batches: int = 0
     recovered: bool = False
     seconds: float = 0.0
+    worker_succ_s: float = 0.0
+    worker_expand_s: float = 0.0
+    coord_put_s: float = 0.0
+    coord_handle_s: float = 0.0
+    coord_idle_s: float = 0.0
 
     def imbalance(self) -> float:
         """max/mean ratio of the partition sizes (1.0 = perfectly even)."""
@@ -244,14 +260,17 @@ class _AckLedger:
         self._set = None
 
 
-def _expand_batch(system, batch, visited, collect, decode=None, succ=None):
+def _expand_batch(system, batch, visited, collect, decode=None, succ=None,
+                  timer=None):
     """Owner-side work: dedup ``batch``, expand new states.
 
     ``batch`` holds packed keys when ``decode`` is given, states
     otherwise. Returns ``(new_successor_states, n_transitions,
     n_deadlocks, collected_transitions)``; successors (and collected
     endpoints) are packed through ``encode`` by the caller's
-    partitioning step, not here.
+    partitioning step, not here. When ``timer`` (a one-element list) is
+    given, seconds spent generating successors accumulate into
+    ``timer[0]`` — the instrumented path's succ-vs-dedup split.
     """
     out_states = []
     n_trans = 0
@@ -259,6 +278,16 @@ def _expand_batch(system, batch, visited, collect, decode=None, succ=None):
     collected = []
     if succ is None:
         succ = getattr(system, "successors_fast", None) or system.successors
+    if timer is not None:
+        raw = succ
+        clock = time.perf_counter
+
+        def succ(state):  # noqa: F811 - timing wrapper
+            t = clock()
+            out = list(raw(state))
+            timer[0] += clock() - t
+            return out
+
     for item in batch:
         if item in visited:
             continue
@@ -293,6 +322,7 @@ def _partition(states, n_workers, encode=None):
 def _worker_main(
     system, n_workers, wid, inbox, outbox, collect, packed,
     fault: WorkerFault | None = None,
+    instrument: bool = False,
 ):
     """Worker process loop: expand routed batches until told to stop.
 
@@ -300,7 +330,11 @@ def _worker_main(
     exactly one ``("done", ..., seq, ...)`` message — the invariant
     both the coordinator's outstanding-message termination count and
     its in-flight ledger rest on. ``fault`` injects the misbehaviours
-    of :mod:`repro.lts.faults` for recovery testing.
+    of :mod:`repro.lts.faults` for recovery testing. ``instrument``
+    additionally times each batch (total expansion and successor
+    generation seconds travel on the ``done`` message) for the flight
+    recorder's per-phase breakdown; off by default to keep the hot
+    path clock-free.
     """
     codec = system.codec() if packed else None
     decode = codec.decode if codec else None
@@ -324,26 +358,32 @@ def _worker_main(
         succ = None
         if fault is not None and fault.raise_at == answered:
             succ = fault.raising_successors(wid)
+        timer = [0.0] if instrument else None
+        t_batch = time.perf_counter() if instrument else 0.0
         new_states, n_trans, n_dead, collected = _expand_batch(
-            system, batch, visited, collect, decode, succ=succ
+            system, batch, visited, collect, decode, succ=succ, timer=timer
         )
+        expand_s = time.perf_counter() - t_batch if instrument else 0.0
         buckets = _partition(new_states, n_workers, encode)
         if collect and encode is not None:
             collected = [(src, lab, encode(d)) for src, lab, d in collected]
         outbox.put(
             ("done", wid, seq, depth, buckets, n_trans, n_dead,
-             len(visited), collected)
+             len(visited), collected,
+             timer[0] if timer else 0.0, expand_s)
         )
         answered += 1
 
 
-def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
+def _inline_sweep(system, n_workers, collect, max_states, stats, packed,
+                  obs=None):
     """The partitioned algorithm run sequentially (test backend).
 
     Bulk-synchronous by construction: each iteration of the outer loop
     is one BFS level, which keeps the backend deterministic and its
     ``levels`` statistic exact.
     """
+    recording = obs is not None and obs.enabled
     codec = system.codec() if packed else None
     decode = codec.decode if codec else None
     encode = codec.encode if codec else None
@@ -356,11 +396,13 @@ def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
     n_dead = 0
     levels = 0
     while frontier:
+        wave_t0 = time.perf_counter()
+        timer = [0.0] if recording else None
         batches = _partition(frontier, n_workers, encode)
         frontier = []
         for w in range(n_workers):
             new_states, t, d, coll = _expand_batch(
-                system, batches[w], visited[w], collect, decode
+                system, batches[w], visited[w], collect, decode, timer=timer
             )
             n_trans += t
             n_dead += d
@@ -370,6 +412,16 @@ def _inline_sweep(system, n_workers, collect, max_states, stats, packed):
             frontier.extend(new_states)
         levels += 1
         total = sum(len(v) for v in visited)
+        if recording:
+            wave_s = time.perf_counter() - wave_t0
+            succ_s = timer[0]
+            obs.tracer.emit(
+                "wave", depth=levels, states=total, frontier=len(frontier),
+                wave_s=round(wave_s, 6), succ_s=round(succ_s, 6),
+                dedup_s=round(max(wave_s - succ_s, 0.0), 6),
+            )
+            obs.progress.maybe(states=total, frontier=len(frontier),
+                               depth=levels)
         if max_states is not None and total > max_states:
             # an aborted sweep still reports how far it got
             stats.states = total
@@ -394,6 +446,7 @@ def _process_sweep(
     poll: float = _POLL,
     batch_size: int = _BATCH,
     fault_tolerant: bool = True,
+    obs=None,
 ):
     """The pipelined partitioned sweep with real worker processes.
 
@@ -416,6 +469,8 @@ def _process_sweep(
     turning any worker death into an immediate
     :class:`~repro.errors.WorkerFailureError` instead of a recovery.
     """
+    recording = obs is not None and obs.enabled
+    tracer = obs.tracer if recording else None
     ctx = (
         mp.get_context("fork")
         if "fork" in mp.get_all_start_methods()
@@ -428,7 +483,8 @@ def _process_sweep(
         ctx.Process(
             target=_worker_main,
             args=(system, n_workers, w, inboxes[w], outbox, collect, packed,
-                  faults.for_worker(w) if faults is not None else None),
+                  faults.for_worker(w) if faults is not None else None,
+                  recording),
             daemon=True,
         )
         for w in range(n_workers)
@@ -466,6 +522,13 @@ def _process_sweep(
     total_batches = 0
     next_seq = 0
     limit_hit = False
+    t_sweep0 = time.perf_counter()
+    #: instrumented-only accumulators (see DistributedStats docstring)
+    worker_succ_s = 0.0
+    worker_expand_s = 0.0
+    coord_put_s = 0.0
+    coord_handle_s = 0.0
+    coord_idle_s = 0.0
 
     def _push(w, depth, bucket):
         queue = pending[w]
@@ -502,12 +565,23 @@ def _process_sweep(
         stats.per_worker_batches = n_batches
         stats.levels = max_depth + 1
         stats.batches = total_batches
+        stats.worker_succ_s = round(worker_succ_s, 6)
+        stats.worker_expand_s = round(worker_expand_s, 6)
+        stats.coord_put_s = round(coord_put_s, 6)
+        stats.coord_handle_s = round(coord_handle_s, 6)
+        stats.coord_idle_s = round(coord_idle_s, 6)
 
     def _reap(w):
         nonlocal outstanding
         live.remove(w)
         dead.add(w)
         stats.worker_deaths += 1
+        if tracer is not None:
+            tracer.emit(
+                "worker_death", worker=w, inflight=len(ledger[w]),
+                pending=len(pending[w]), alive=len(live),
+                visited=sizes[w],
+            )
         if acked is None:
             # no acknowledged-key record was kept, so a recovery could
             # not be exact; fail fast (still within the poll bound)
@@ -536,14 +610,18 @@ def _process_sweep(
                 stats=stats,
             )
         stats.redispatched_batches += len(lost)
+        if tracer is not None:
+            tracer.emit("redispatch", worker=w, batches=len(lost))
         for depth, chunk in lost:
             _route(w, depth, chunk)
 
     def _handle(msg):
         nonlocal outstanding, n_trans, n_dead, max_depth, limit_hit
+        nonlocal worker_succ_s, worker_expand_s, coord_handle_s
         if msg[0] != "done":
             return
-        _tag, wid, seq, depth, buckets, t, d, n_visited, coll = msg
+        t_handle = time.perf_counter() if recording else 0.0
+        _tag, wid, seq, depth, buckets, t, d, n_visited, coll, s_s, e_s = msg
         entry = ledger[wid].pop(seq, None)
         if entry is None:
             return  # late answer from a worker already reaped
@@ -563,6 +641,15 @@ def _process_sweep(
                 _route(w, depth + 1, bucket)
         if max_states is not None and sum(sizes) > max_states:
             limit_hit = True
+        if recording:
+            worker_succ_s += s_s
+            worker_expand_s += e_s
+            tracer.emit(
+                "ack", worker=wid, seq=seq, depth=depth, transitions=t,
+                visited=n_visited, succ_s=round(s_s, 6),
+                expand_s=round(e_s, 6),
+            )
+            coord_handle_s += time.perf_counter() - t_handle
 
     def _check_liveness():
         crashed = [w for w in live if workers[w].exitcode is not None]
@@ -580,6 +667,21 @@ def _process_sweep(
             if w in live:
                 _reap(w)
 
+    def _sample():
+        tracer.emit(
+            "coord_sample", outstanding=outstanding,
+            pending=[len(q) for q in pending], inflight=list(inflight),
+            states=sum(sizes), alive=len(live),
+        )
+        elapsed = time.perf_counter() - t_sweep0
+        total = sum(sizes)
+        obs.progress.maybe(
+            states=total,
+            sps=total / elapsed if elapsed > 0 else 0.0,
+            outstanding=outstanding,
+            workers=f"{len(live)}/{n_workers}",
+        )
+
     since_check = 0
     try:
         while not limit_hit:
@@ -594,7 +696,17 @@ def _process_sweep(
                         chunk = batch
                         queue.pop(0)
                     ledger[w][next_seq] = (depth, chunk)
-                    inboxes[w].put(("work", next_seq, depth, chunk))
+                    if recording:
+                        t_put = time.perf_counter()
+                        inboxes[w].put(("work", next_seq, depth, chunk))
+                        coord_put_s += time.perf_counter() - t_put
+                        tracer.emit("dispatch", worker=w, seq=next_seq,
+                                    depth=depth, n=len(chunk))
+                        obs.metrics.counter(
+                            "repro_dist_batches_total", worker=w
+                        ).inc()
+                    else:
+                        inboxes[w].put(("work", next_seq, depth, chunk))
                     next_seq += 1
                     inflight[w] += 1
                     outstanding += 1
@@ -602,14 +714,26 @@ def _process_sweep(
             if outstanding == 0:
                 break  # nothing in flight, nothing pending: quiescent
             try:
-                msg = outbox.get(timeout=poll)
+                if recording:
+                    t_get = time.perf_counter()
+                    try:
+                        msg = outbox.get(timeout=poll)
+                    except Empty:
+                        coord_idle_s += time.perf_counter() - t_get
+                        raise
+                else:
+                    msg = outbox.get(timeout=poll)
             except Empty:
+                if recording:
+                    _sample()
                 _check_liveness()
                 continue
             _handle(msg)
             since_check += 1
             if since_check >= _CRASH_CHECK_EVERY:
                 since_check = 0
+                if recording:
+                    _sample()
                 _check_liveness()
     finally:
         for w in live:
@@ -657,6 +781,7 @@ def distributed_explore(
     poll_interval: float = _POLL,
     batch_size: int | None = None,
     fault_tolerant: bool = True,
+    obs=None,
 ) -> tuple[LTS | None, DistributedStats]:
     """Partitioned sweep of ``system`` (pipelined when ``"process"``).
 
@@ -702,6 +827,12 @@ def distributed_explore(
         :class:`~repro.errors.WorkerFailureError` (with partial stats
         attached) instead of recovering. Crash *detection* stays on
         either way: the coordinator never hangs on a dead worker.
+    obs:
+        Optional :class:`~repro.obs.core.Instrumentation`; defaults to
+        the ambient bundle. When enabled, the sweep emits lifecycle
+        events (dispatch/ack, worker deaths, re-dispatches, coordinator
+        samples), workers time their batches for the per-phase
+        breakdown, and recovery counters land in the metrics registry.
 
     Returns
     -------
@@ -731,12 +862,67 @@ def distributed_explore(
         packed = getattr(system, "codec", None) is not None
     elif packed and getattr(system, "codec", None) is None:
         raise ValueError("packed=True needs a system with a codec()")
+    if obs is None:
+        obs = _current_obs()
+    recording = obs.enabled
+    if recording:
+        obs.tracer.emit(
+            "sweep_start", backend=f"distributed-{backend}",
+            n_workers=n_workers, packed=packed,
+            batch_size=batch_size or _BATCH,
+            fault_tolerant=fault_tolerant, max_states=max_states,
+        )
+        if faults is not None:
+            for wid, n in sorted(faults.kill.items()):
+                obs.tracer.emit("fault_plan", worker=wid, kind="kill", arg=n)
+            for wid, n in sorted(faults.raise_in.items()):
+                obs.tracer.emit("fault_plan", worker=wid, kind="raise", arg=n)
+            for wid, d in sorted(faults.delay.items()):
+                obs.tracer.emit("fault_plan", worker=wid, kind="delay", arg=d)
+
+    def _emit_end(outcome: str) -> None:
+        obs.tracer.emit(
+            "sweep_end", backend=f"distributed-{backend}", outcome=outcome,
+            states=stats.states, transitions=stats.transitions,
+            seconds=round(stats.seconds, 6),
+            states_per_second=round(
+                stats.states / stats.seconds if stats.seconds > 0 else 0.0, 1
+            ),
+            worker_deaths=stats.worker_deaths,
+            redispatched_batches=stats.redispatched_batches,
+            recovered=stats.recovered,
+            worker_succ_s=stats.worker_succ_s,
+            worker_expand_s=stats.worker_expand_s,
+            coord_put_s=stats.coord_put_s,
+            coord_handle_s=stats.coord_handle_s,
+            coord_idle_s=stats.coord_idle_s,
+        )
+        m = obs.metrics
+        m.counter("repro_sweeps_total", backend=f"distributed-{backend}",
+                  outcome=outcome).inc()
+        m.counter("repro_sweep_states_total").inc(stats.states)
+        m.counter("repro_sweep_transitions_total").inc(stats.transitions)
+        m.counter("repro_dist_worker_deaths_total").inc(stats.worker_deaths)
+        m.counter("repro_dist_redispatched_batches_total").inc(
+            stats.redispatched_batches
+        )
+        m.gauge("repro_dist_recovered").set(int(stats.recovered))
+        m.gauge("repro_dist_workers").set(n_workers)
+        m.gauge("repro_sweep_seconds", backend=f"distributed-{backend}").set(
+            round(stats.seconds, 6)
+        )
+        for w, batches in enumerate(stats.per_worker_batches):
+            m.counter("repro_dist_worker_batches_total", worker=w).inc(batches)
+        for w, n_states in enumerate(stats.per_worker_states):
+            m.gauge("repro_dist_worker_states", worker=w).set(n_states)
+
     stats = DistributedStats()
     t0 = time.perf_counter()
     try:
         if backend == "inline":
             transitions, init_item = _inline_sweep(
-                system, n_workers, collect, max_states, stats, packed
+                system, n_workers, collect, max_states, stats, packed,
+                obs=obs,
             )
         else:
             transitions, init_item = _process_sweep(
@@ -744,14 +930,22 @@ def distributed_explore(
                 faults=faults, poll=poll_interval,
                 batch_size=batch_size or _BATCH,
                 fault_tolerant=fault_tolerant,
+                obs=obs,
             )
     except (ExplorationLimitError, WorkerFailureError) as exc:
         # an aborted sweep still reports how far it got and how long it ran
         stats.seconds = time.perf_counter() - t0
         if exc.stats is None:
             exc.stats = stats
+        if recording:
+            _emit_end(
+                "limit" if isinstance(exc, ExplorationLimitError)
+                else "worker_failure"
+            )
         raise
     stats.seconds = time.perf_counter() - t0
+    if recording:
+        _emit_end("ok")
 
     if not collect:
         return None, stats

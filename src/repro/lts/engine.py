@@ -40,6 +40,7 @@ from typing import Callable, Hashable, MutableMapping
 from repro.errors import ExplorationLimitError
 from repro.lts.explore import ExplorationStats, TransitionSystem
 from repro.lts.lts import LTS
+from repro.obs.core import current as _current_obs
 
 
 def _codec_for(system):
@@ -58,6 +59,7 @@ def explore_fast(
     memo: MutableMapping[Hashable, list] | None = None,
     packed: bool = False,
     codec=None,
+    obs=None,
 ) -> LTS:
     """Generate the reachable LTS of ``system`` by breadth-first search.
 
@@ -80,7 +82,18 @@ def explore_fast(
     codec:
         Codec overriding the system-provided one; must expose
         ``encode``/``decode``.
+    obs:
+        Optional :class:`~repro.obs.core.Instrumentation`; defaults to
+        the ambient bundle. Disabled instrumentation costs one branch
+        per BFS wave — the hot per-state loops are untouched.
     """
+    if obs is None:
+        obs = _current_obs()
+    recording = obs.enabled
+    if stats is None:
+        # every exit path (incl. the limit error, which carries this
+        # object on .stats) then reports complete timing
+        stats = ExplorationStats()
     t0 = time.perf_counter()
     if packed and codec is None:
         codec = _codec_for(system)
@@ -91,15 +104,40 @@ def explore_fast(
     encode = codec.encode if (packed and codec is not None) else None
 
     succ = getattr(system, "successors_fast", None) or system.successors
+    succ_seconds = [0.0]
+    memo_hits = [0]
+    if recording:
+        # successor generation on its own clock, so waves can split
+        # succ time from dedup/bookkeeping time (enabled runs only)
+        timed_succ = succ
+        acc = succ_seconds
+
+        def succ(state):  # noqa: F811 - instrumented wrapper
+            t = time.perf_counter()
+            out = timed_succ(state)
+            acc[0] += time.perf_counter() - t
+            return out
+
     if memo is not None:
         raw_succ = succ
         memo_get = memo.get
+        if recording:
+            hits = memo_hits
 
-        def succ(state):  # noqa: F811 - deliberate wrapper
-            cached = memo_get(state)
-            if cached is None:
-                cached = memo[state] = raw_succ(state)
-            return cached
+            def succ(state):  # noqa: F811 - deliberate wrapper
+                cached = memo_get(state)
+                if cached is None:
+                    cached = memo[state] = raw_succ(state)
+                else:
+                    hits[0] += 1
+                return cached
+        else:
+
+            def succ(state):  # noqa: F811 - deliberate wrapper
+                cached = memo_get(state)
+                if cached is None:
+                    cached = memo[state] = raw_succ(state)
+                return cached
 
     init = system.initial_state()
     index: dict = {init if encode is None else encode(init): 0}
@@ -126,13 +164,38 @@ def explore_fast(
     max_frontier = 1
 
     def _finish_stats():
-        if stats is not None:
-            stats.states = n
-            stats.transitions = len(src)
-            stats.max_frontier = max_frontier
-            stats.seconds = time.perf_counter() - t0
-            stats.depth = depth
-            stats.level_sizes = level_sizes
+        stats.states = n
+        stats.transitions = len(src)
+        stats.max_frontier = max_frontier
+        stats.seconds = time.perf_counter() - t0
+        stats.depth = depth
+        stats.level_sizes = level_sizes
+
+    def _emit_end(outcome: str) -> None:
+        backend = "engine-packed" if encode is not None else "engine"
+        obs.tracer.emit(
+            "sweep_end", backend=backend, outcome=outcome,
+            states=stats.states, transitions=stats.transitions,
+            seconds=round(stats.seconds, 6),
+            states_per_second=round(stats.states_per_second(), 1),
+            depth=stats.depth, max_frontier=stats.max_frontier,
+            memo_hits=memo_hits[0] if memo is not None else None,
+        )
+        m = obs.metrics
+        m.counter("repro_sweeps_total", backend=backend, outcome=outcome).inc()
+        m.counter("repro_sweep_states_total").inc(stats.states)
+        m.counter("repro_sweep_transitions_total").inc(stats.transitions)
+        m.gauge("repro_sweep_seconds", backend=backend).set(
+            round(stats.seconds, 6)
+        )
+        m.gauge("repro_sweep_states_per_second", backend=backend).set(
+            round(stats.states_per_second(), 1)
+        )
+        if memo is not None:
+            m.counter("repro_memo_hits_total").inc(memo_hits[0])
+        # visited-probe hits: probes that found an already-numbered
+        # state (every transition probes once; discoveries miss)
+        m.counter("repro_visited_probe_hits_total").inc(len(src) - n)
 
     def _partial_lts() -> LTS:
         out = LTS.from_columns(
@@ -141,17 +204,29 @@ def explore_fast(
         out.state_meta = state_meta
         return out
 
+    if recording:
+        obs.tracer.emit(
+            "sweep_start",
+            backend="engine-packed" if encode is not None else "engine",
+            max_states=max_states, max_depth=max_depth,
+            packed=encode is not None, memo=memo is not None,
+        )
+        obs.tracer.emit("gc_suspend")
     # nearly every allocation of the sweep stays alive in the visited
     # index, so generational GC passes rescan an ever-growing live set
     # for nothing — suspend collection for the duration
     gc_was_enabled = gc.isenabled()
     gc.disable()
+    gc_t0 = time.perf_counter()
     # the tight path drops the per-transition limit and codec branches
     tight = max_states is None and encode is None and not keep_states
     try:
         while frontier:
             if max_depth is not None and depth >= max_depth:
                 break
+            wave_t0 = time.perf_counter()
+            wave_succ0 = succ_seconds[0]
+            wave_trans0 = len(src)
             next_frontier: list[tuple[int, Hashable]] = []
             nf_append = next_frontier.append
             if tight:
@@ -191,10 +266,13 @@ def explore_fast(
                                 max_frontier, len(next_frontier)
                             )
                             _finish_stats()
+                            if recording:
+                                _emit_end("limit")
                             raise ExplorationLimitError(
                                 f"state limit {max_states} exceeded "
                                 f"at depth {depth}",
                                 partial=_partial_lts(),
+                                stats=stats,
                             )
             depth += 1
             frontier = next_frontier
@@ -202,11 +280,32 @@ def explore_fast(
                 level_sizes.append(len(frontier))
                 if len(frontier) > max_frontier:
                     max_frontier = len(frontier)
+            if recording:
+                wave_s = time.perf_counter() - wave_t0
+                succ_s = succ_seconds[0] - wave_succ0
+                obs.tracer.emit(
+                    "wave", depth=depth, states=n, frontier=len(frontier),
+                    transitions=len(src) - wave_trans0,
+                    wave_s=round(wave_s, 6), succ_s=round(succ_s, 6),
+                    dedup_s=round(max(wave_s - succ_s, 0.0), 6),
+                )
+                elapsed = time.perf_counter() - t0
+                obs.progress.maybe(
+                    states=n, sps=n / elapsed if elapsed > 0 else 0.0,
+                    frontier=len(frontier), depth=depth,
+                )
             if on_level is not None:
                 on_level(depth, n)
     finally:
         if gc_was_enabled:
             gc.enable()
+        if recording:
+            obs.tracer.emit(
+                "gc_resume",
+                suspended_s=round(time.perf_counter() - gc_t0, 6),
+            )
 
     _finish_stats()
+    if recording:
+        _emit_end("ok")
     return _partial_lts()

@@ -17,6 +17,7 @@ from typing import Callable, Hashable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import ExplorationLimitError
 from repro.lts.lts import LTS
+from repro.obs.core import current as _current_obs
 
 
 @runtime_checkable
@@ -63,6 +64,7 @@ def explore(
     keep_states: bool = False,
     on_level: Callable[[int, int], None] | None = None,
     stats: ExplorationStats | None = None,
+    obs=None,
 ) -> LTS:
     """Generate the reachable LTS of ``system`` by breadth-first search.
 
@@ -84,13 +86,23 @@ def explore(
     on_level:
         Callback ``(depth, states_so_far)`` invoked per completed level.
     stats:
-        Optional stats object to fill in.
+        Optional stats object to fill in. A fresh one is created when
+        omitted so every exit path — including the limit error, which
+        carries it on ``.stats`` — reports complete timing.
+    obs:
+        Optional :class:`~repro.obs.core.Instrumentation`; defaults to
+        the ambient bundle (disabled unless activated).
 
     Returns
     -------
     LTS
         States are numbered in BFS discovery order; state 0 is initial.
     """
+    if obs is None:
+        obs = _current_obs()
+    recording = obs.enabled
+    if stats is None:
+        stats = ExplorationStats()
     t0 = time.perf_counter()
     lts = LTS(initial=0)
     init = system.initial_state()
@@ -106,9 +118,56 @@ def explore(
     succ = system.successors
     add_transition = lts.add_transition
 
+    succ_seconds = [0.0]
+    if recording:
+        obs.tracer.emit(
+            "sweep_start", backend="serial",
+            max_states=max_states, max_depth=max_depth,
+        )
+        # charge successor generation (including generator consumption)
+        # to its own clock so waves can split succ time from dedup time
+        raw_succ = succ
+        acc = succ_seconds
+
+        def succ(state):  # noqa: F811 - instrumented wrapper
+            t = time.perf_counter()
+            out = list(raw_succ(state))
+            acc[0] += time.perf_counter() - t
+            return out
+
+    def _finish_stats() -> None:
+        stats.states = len(index)
+        stats.transitions = lts.n_transitions
+        stats.max_frontier = max_frontier
+        stats.seconds = time.perf_counter() - t0
+        stats.depth = depth
+        stats.level_sizes = level_sizes
+
+    def _emit_end(outcome: str) -> None:
+        obs.tracer.emit(
+            "sweep_end", backend="serial", outcome=outcome,
+            states=stats.states, transitions=stats.transitions,
+            seconds=round(stats.seconds, 6),
+            states_per_second=round(stats.states_per_second(), 1),
+            depth=stats.depth, max_frontier=stats.max_frontier,
+        )
+        m = obs.metrics
+        m.counter("repro_sweeps_total", backend="serial",
+                  outcome=outcome).inc()
+        m.counter("repro_sweep_states_total").inc(stats.states)
+        m.counter("repro_sweep_transitions_total").inc(stats.transitions)
+        m.gauge("repro_sweep_seconds", backend="serial").set(
+            round(stats.seconds, 6)
+        )
+        m.gauge("repro_sweep_states_per_second", backend="serial").set(
+            round(stats.states_per_second(), 1)
+        )
+
     while frontier:
         if max_depth is not None and depth >= max_depth:
             break
+        wave_t0 = time.perf_counter()
+        wave_succ0 = succ_seconds[0]
         next_frontier: list[Hashable] = []
         for state in frontier:
             sidx = index[state]
@@ -123,18 +182,14 @@ def explore(
                     next_frontier.append(nxt)
                     if max_states is not None and len(index) > max_states:
                         add_transition(sidx, label, didx)
-                        if stats is not None:
-                            stats.states = len(index)
-                            stats.transitions = lts.n_transitions
-                            stats.max_frontier = max(
-                                max_frontier, len(next_frontier)
-                            )
-                            stats.seconds = time.perf_counter() - t0
-                            stats.depth = depth
-                            stats.level_sizes = level_sizes
+                        max_frontier = max(max_frontier, len(next_frontier))
+                        _finish_stats()
+                        if recording:
+                            _emit_end("limit")
                         raise ExplorationLimitError(
                             f"state limit {max_states} exceeded at depth {depth}",
                             partial=lts,
+                            stats=stats,
                         )
                 add_transition(sidx, label, didx)
         depth += 1
@@ -142,16 +197,27 @@ def explore(
         if frontier:
             level_sizes.append(len(frontier))
         max_frontier = max(max_frontier, len(frontier))
+        if recording:
+            wave_s = time.perf_counter() - wave_t0
+            succ_s = succ_seconds[0] - wave_succ0
+            obs.tracer.emit(
+                "wave", depth=depth, states=len(index),
+                frontier=len(frontier), wave_s=round(wave_s, 6),
+                succ_s=round(succ_s, 6),
+                dedup_s=round(max(wave_s - succ_s, 0.0), 6),
+            )
+            elapsed = time.perf_counter() - t0
+            obs.progress.maybe(
+                states=len(index),
+                sps=len(index) / elapsed if elapsed > 0 else 0.0,
+                frontier=len(frontier), depth=depth,
+            )
         if on_level is not None:
             on_level(depth, len(index))
 
-    if stats is not None:
-        stats.states = len(index)
-        stats.transitions = lts.n_transitions
-        stats.max_frontier = max_frontier
-        stats.seconds = time.perf_counter() - t0
-        stats.depth = depth
-        stats.level_sizes = level_sizes
+    _finish_stats()
+    if recording:
+        _emit_end("ok")
     return lts
 
 

@@ -21,12 +21,14 @@ rounds otherwise.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 
 import numpy as np
 
 from repro.errors import FormulaSemanticsError
 from repro.lts.lts import LTS
+from repro.obs.core import current as _current_obs
 from repro.mucalc.syntax import (
     ActionPredicate,
     And,
@@ -262,8 +264,9 @@ def _solve_mu_box(ctx, pred, a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 class _Evaluator:
-    def __init__(self, ctx: _Context):
+    def __init__(self, ctx: _Context, obs=None):
         self.ctx = ctx
+        self.obs = obs if obs is not None else _current_obs()
         self.hole: Formula | None = None
         self.hole_value: np.ndarray | None = None
 
@@ -327,6 +330,23 @@ class _Evaluator:
         ctx = self.ctx
         n = ctx.n
         is_mu = isinstance(f, Mu)
+        recording = self.obs.enabled
+        t0 = time.perf_counter() if recording else 0.0
+
+        def _observe(mode: str, iterations: int = 0) -> None:
+            self.obs.tracer.emit(
+                "fixpoint", var=f.var, op="mu" if is_mu else "nu",
+                mode=mode, iterations=iterations, states=n,
+                seconds=round(time.perf_counter() - t0, 6),
+            )
+            self.obs.metrics.counter(
+                "repro_fixpoints_total", mode=mode
+            ).inc()
+            if iterations:
+                self.obs.metrics.counter(
+                    "repro_kleene_iterations_total"
+                ).inc(iterations)
+
         occ = _find_single_modal_occurrence(f.var, f.body)
         if occ is not None:
             node, kind = occ
@@ -337,23 +357,29 @@ class _Evaluator:
             a = self._eval_with_hole(f.body, node, zeros, env)
             b = self._eval_with_hole(f.body, node, ones, env)
             if is_mu and kind == "diamond":
-                return _solve_mu_diamond(ctx, pred, a, b)
-            if is_mu and kind == "box":
-                return _solve_mu_box(ctx, pred, a, b)
-            if not is_mu and kind == "box":
+                out = _solve_mu_diamond(ctx, pred, a, b)
+            elif is_mu and kind == "box":
+                out = _solve_mu_box(ctx, pred, a, b)
+            elif not is_mu and kind == "box":
                 # nu X. a \/ (b /\ [p]X)  =  ~ mu Y. ~a /\ (~b \/ <p>Y)
                 #                        =  ~ mu Y. a' \/ (b' /\ <p>Y)
                 # with a' = ~a /\ ~b, b' = ~a
-                return ~_solve_mu_diamond(ctx, pred, ~a & ~b, ~a)
-            # nu X. a \/ (b /\ <p>X) = ~ mu Y. a' \/ (b' /\ [p]Y)
-            return ~_solve_mu_box(ctx, pred, ~a & ~b, ~a)
+                out = ~_solve_mu_diamond(ctx, pred, ~a & ~b, ~a)
+            else:
+                # nu X. a \/ (b /\ <p>X) = ~ mu Y. a' \/ (b' /\ [p]Y)
+                out = ~_solve_mu_box(ctx, pred, ~a & ~b, ~a)
+            if recording:
+                _observe(f"worklist-{kind}")
+            return out
         # Kleene iteration fallback
         x = np.zeros(n, dtype=bool) if is_mu else np.ones(n, dtype=bool)
         env2 = dict(env)
-        for _ in range(n + 2):
+        for rounds in range(1, n + 3):
             env2[f.var] = x
             nxt = self.eval(f.body, env2)
             if np.array_equal(nxt, x):
+                if recording:
+                    _observe("kleene", iterations=rounds)
                 return x
             x = nxt
         raise FormulaSemanticsError(

@@ -22,6 +22,7 @@ followed by a check, and far less when the verdict comes early.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Callable, Hashable
 
@@ -29,6 +30,10 @@ from repro.errors import ExplorationLimitError
 from repro.lts.trace import Trace
 from repro.mucalc.diagnostics import compile_nfa
 from repro.mucalc.syntax import Regular
+from repro.obs.core import current as _current_obs
+
+#: product states between progress heartbeats on instrumented runs
+_PROGRESS_EVERY = 4096
 
 
 def find_path(
@@ -45,6 +50,27 @@ def find_path(
     that case). Raises :class:`~repro.errors.ExplorationLimitError`
     when ``max_states`` product states are exceeded.
     """
+    obs = _current_obs()
+    recording = obs.enabled
+    t0 = time.perf_counter() if recording else 0.0
+    if recording:
+        obs.tracer.emit("product_start", regular=str(regular),
+                        max_states=max_states)
+
+    def _finish(found: bool, n_product: int) -> None:
+        if not recording:
+            return
+        seconds = time.perf_counter() - t0
+        obs.tracer.emit(
+            "product_end", found=found, product_states=n_product,
+            seconds=round(seconds, 6),
+        )
+        obs.metrics.counter("repro_product_states_total").inc(n_product)
+        obs.metrics.counter(
+            "repro_product_searches_total",
+            outcome="witness" if found else "exhausted",
+        ).inc()
+
     nfa = compile_nfa(regular)
     eps_adj: dict[int, list[int]] = {}
     for a, b in nfa.eps:
@@ -73,6 +99,7 @@ def find_path(
     start = closure(frozenset([nfa.start]))
     init = (system.initial_state(), start)
     if accepting(init):
+        _finish(True, 1)
         return Trace(())
     parent: dict = {init: (None, "")}
     queue = deque([init])
@@ -93,8 +120,16 @@ def find_path(
                 continue
             parent[nxt] = (node, label)
             if max_states is not None and len(parent) > max_states:
+                _finish(False, len(parent))
                 raise ExplorationLimitError(
                     f"on-the-fly product exceeded {max_states} states"
+                )
+            if recording and len(parent) % _PROGRESS_EVERY == 0:
+                elapsed = time.perf_counter() - t0
+                obs.progress.maybe(
+                    product_states=len(parent),
+                    sps=len(parent) / elapsed if elapsed > 0 else 0.0,
+                    frontier=len(queue),
                 )
             if accepting(nxt):
                 labels = []
@@ -104,8 +139,10 @@ def find_path(
                     labels.append(lab)
                     cur = prev
                 labels.reverse()
+                _finish(True, len(parent))
                 return Trace(tuple(labels))
             queue.append(nxt)
+    _finish(False, len(parent))
     return None
 
 

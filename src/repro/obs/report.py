@@ -1,0 +1,271 @@
+"""Render a flight-recorder trace into a human-readable timeline.
+
+The consumer side of :mod:`repro.obs.tracer`: ``repro report
+trace.jsonl`` loads the JSONL events back and prints, per sweep, the
+depth waves, the per-phase timing breakdown (successor generation vs
+dedup vs transport), the distributed worker timeline (dispatches,
+deaths, re-dispatches, fault injections), and the mu-calculus fixpoint
+and requirement-check summaries.
+
+:func:`phase_breakdown` is also used directly by the bench harness to
+embed the same breakdown into ``BENCH_explore.json``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import read_trace
+
+#: maximum depth-wave rows rendered before eliding the middle
+_MAX_WAVE_ROWS = 40
+
+
+def phase_breakdown(events: list[dict]) -> dict:
+    """Aggregate per-phase seconds over every sweep in ``events``.
+
+    Serial/engine sweeps contribute through their ``wave`` events
+    (``succ_s`` / ``dedup_s``); distributed sweeps through the
+    worker/coordinator totals on ``sweep_end``. ``other_s`` is the
+    unattributed remainder of the sweeps' wall time.
+    """
+    succ = dedup = transport = total = 0.0
+    for e in events:
+        ev = e.get("ev")
+        if ev == "wave":
+            succ += e.get("succ_s", 0.0)
+            dedup += e.get("dedup_s", 0.0)
+        elif ev == "sweep_end":
+            total += e.get("seconds", 0.0)
+            ws = e.get("worker_succ_s", 0.0)
+            succ += ws
+            dedup += max(e.get("worker_expand_s", 0.0) - ws, 0.0)
+            transport += e.get("coord_put_s", 0.0) + e.get(
+                "coord_handle_s", 0.0
+            )
+    return {
+        "successors_s": round(succ, 6),
+        "dedup_s": round(dedup, 6),
+        "transport_s": round(transport, 6),
+        "other_s": round(max(total - succ - dedup - transport, 0.0), 6),
+        "total_s": round(total, 6),
+    }
+
+
+def _pct(part: float, total: float) -> str:
+    return f"{100.0 * part / total:.1f}%" if total > 0 else "-"
+
+
+def _fmt_phase_line(phases: dict) -> str:
+    total = phases["total_s"]
+    parts = [
+        f"successors {_pct(phases['successors_s'], total)} "
+        f"({phases['successors_s']:.3f} s)",
+        f"dedup {_pct(phases['dedup_s'], total)} "
+        f"({phases['dedup_s']:.3f} s)",
+        f"transport {_pct(phases['transport_s'], total)} "
+        f"({phases['transport_s']:.3f} s)",
+        f"other {_pct(phases['other_s'], total)}",
+    ]
+    return "phase breakdown: " + " | ".join(parts)
+
+
+def _split_sweeps(events: list[dict]):
+    """``(sweep_event_lists, leftovers)`` — sweeps delimited by
+    sweep_start/sweep_end, everything outside any sweep in leftovers."""
+    sweeps: list[list[dict]] = []
+    leftovers: list[dict] = []
+    cur: list[dict] | None = None
+    for e in events:
+        ev = e.get("ev")
+        if ev == "sweep_start":
+            if cur is not None:
+                sweeps.append(cur)  # unterminated (crashed) sweep
+            cur = [e]
+        elif cur is not None:
+            cur.append(e)
+            if ev == "sweep_end":
+                sweeps.append(cur)
+                cur = None
+        else:
+            leftovers.append(e)
+    if cur is not None:
+        sweeps.append(cur)
+    return sweeps, leftovers
+
+
+def _wave_table(waves: list[dict]) -> list[str]:
+    timed = any("succ_s" in w for w in waves)
+    header = f"  {'depth':>7} {'states':>10} {'frontier':>10} {'wave ms':>9}"
+    if timed:
+        header += f" {'succ ms':>9} {'dedup ms':>9}"
+    lines = [header]
+
+    def row(w):
+        line = (
+            f"  {w.get('depth', '?'):>7} {w.get('states', 0):>10,} "
+            f"{w.get('frontier', 0):>10,} "
+            f"{1000 * w.get('wave_s', 0.0):>9.1f}"
+        )
+        if timed:
+            line += (
+                f" {1000 * w.get('succ_s', 0.0):>9.1f}"
+                f" {1000 * w.get('dedup_s', 0.0):>9.1f}"
+            )
+        return line
+
+    if len(waves) <= _MAX_WAVE_ROWS:
+        lines.extend(row(w) for w in waves)
+    else:
+        head = _MAX_WAVE_ROWS // 2
+        lines.extend(row(w) for w in waves[:head])
+        lines.append(f"  ... {len(waves) - 2 * head} waves elided ...")
+        lines.extend(row(w) for w in waves[-head:])
+    return lines
+
+
+_TIMELINE_EVENTS = (
+    "fault_plan", "worker_death", "redispatch", "gc_suspend", "gc_resume",
+    "limit", "coord_sample",
+)
+
+
+def _render_sweep(i: int, events: list[dict]) -> list[str]:
+    start = events[0] if events[0].get("ev") == "sweep_start" else {}
+    end = next(
+        (e for e in events if e.get("ev") == "sweep_end"), None
+    )
+    backend = start.get("backend", "?")
+    extras = []
+    if start.get("packed") is not None:
+        extras.append(f"packed={'yes' if start['packed'] else 'no'}")
+    if start.get("n_workers"):
+        extras.append(f"workers={start['n_workers']}")
+    head = f"sweep {i}: {backend}"
+    if extras:
+        head += f" ({', '.join(extras)})"
+    head += f" — {end.get('outcome', 'unterminated') if end else 'unterminated'}"
+    lines = [head]
+
+    if end:
+        lines.append(
+            f"  states {end.get('states', 0):,}  "
+            f"transitions {end.get('transitions', 0):,}  "
+            f"seconds {end.get('seconds', 0.0):.3f}  "
+            f"states/s {end.get('states_per_second', 0.0):,.0f}"
+            + (f"  depth {end['depth']}" if "depth" in end else "")
+            + (
+                f"  max frontier {end['max_frontier']:,}"
+                if "max_frontier" in end
+                else ""
+            )
+        )
+        if end.get("worker_deaths"):
+            lines.append(
+                f"  recovery: worker_deaths={end['worker_deaths']} "
+                f"redispatched_batches={end.get('redispatched_batches', 0)} "
+                f"recovered={'yes' if end.get('recovered') else 'no'}"
+            )
+
+    waves = [e for e in events if e.get("ev") == "wave"]
+    if waves:
+        lines.append("  depth waves:")
+        lines.extend("  " + ln for ln in _wave_table(waves))
+
+    acks: dict[int, dict] = {}
+    for e in events:
+        if e.get("ev") == "ack":
+            w = e.get("worker", -1)
+            agg = acks.setdefault(
+                w, {"batches": 0, "states": 0, "expand_s": 0.0}
+            )
+            agg["batches"] += 1
+            agg["states"] = e.get("visited", agg["states"])
+            agg["expand_s"] += e.get("expand_s", 0.0)
+    if acks:
+        lines.append(
+            f"  {'worker':>8} {'batches':>9} {'states':>10} "
+            f"{'busy s':>8} {'states/busy-s':>14}"
+        )
+        for w in sorted(acks):
+            agg = acks[w]
+            busy = agg["expand_s"]
+            lines.append(
+                f"  {w:>8} {agg['batches']:>9,} {agg['states']:>10,} "
+                f"{busy:>8.3f} "
+                f"{agg['states'] / busy if busy > 0 else 0.0:>14,.0f}"
+            )
+
+    timeline = [
+        e for e in events if e.get("ev") in _TIMELINE_EVENTS
+    ]
+    if timeline:
+        lines.append("  events:")
+        for e in timeline:
+            detail = " ".join(
+                f"{k}={v}" for k, v in e.items() if k not in ("t", "ev")
+            )
+            lines.append(f"    {e.get('t', 0.0):>9.3f} s  {e['ev']}  {detail}")
+
+    phases = phase_breakdown(events)
+    if phases["total_s"] > 0:
+        lines.append("  " + _fmt_phase_line(phases))
+    return lines
+
+
+def render_report(events: list[dict]) -> str:
+    """The full human-readable report for a trace (see module docstring)."""
+    sweeps, _leftovers = _split_sweeps(events)
+    span = events[-1].get("t", 0.0) if events else 0.0
+    lines = [
+        f"flight recorder report — {len(sweeps)} sweep(s), "
+        f"{len(events)} events, {span:.3f} s of recording"
+    ]
+    for i, sweep in enumerate(sweeps, 1):
+        lines.append("")
+        lines.extend(_render_sweep(i, sweep))
+
+    fixpoints = [e for e in events if e.get("ev") == "fixpoint"]
+    if fixpoints:
+        by_mode: dict[str, int] = {}
+        iters = 0
+        for e in fixpoints:
+            by_mode[e.get("mode", "?")] = by_mode.get(e.get("mode", "?"), 0) + 1
+            iters += e.get("iterations", 0)
+        modes = ", ".join(f"{n} {m}" for m, n in sorted(by_mode.items()))
+        lines.append("")
+        lines.append(
+            f"fixpoints: {len(fixpoints)} solved ({modes}; "
+            f"{iters} Kleene iterations)"
+        )
+
+    products = [e for e in events if e.get("ev") == "product_end"]
+    if products:
+        lines.append("")
+        for e in products:
+            lines.append(
+                f"on-the-fly product: {e.get('product_states', 0):,} states, "
+                f"{'witness found' if e.get('found') else 'no witness'} "
+                f"({e.get('seconds', 0.0):.3f} s)"
+            )
+
+    checks = [e for e in events if e.get("ev") == "check"]
+    if checks:
+        lines.append("")
+        lines.append("requirement checks:")
+        for e in checks:
+            lines.append(
+                f"  {e.get('requirement', '?'):<34} "
+                f"{'HOLDS' if e.get('holds') else 'VIOLATED':<9} "
+                f"{e.get('states', 0):>10,} states  "
+                f"{e.get('seconds', 0.0):>7.3f} s"
+            )
+
+    total_phases = phase_breakdown(events)
+    if len(sweeps) > 1 and total_phases["total_s"] > 0:
+        lines.append("")
+        lines.append("overall " + _fmt_phase_line(total_phases))
+    return "\n".join(lines)
+
+
+def report_from_file(path) -> str:
+    """Load ``path`` (JSONL trace) and render it."""
+    return render_report(read_trace(path))

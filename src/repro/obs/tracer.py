@@ -1,0 +1,123 @@
+"""Structured JSONL event traces.
+
+The flight recorder's chronological side: every lifecycle event of an
+exploration or check — sweep start/end, BFS depth waves, distributed
+batch dispatch/ack, worker deaths, fixpoint iterations — is one JSON
+object per line with a monotonic timestamp::
+
+    {"t": 0.000132, "ev": "sweep_start", "backend": "engine", ...}
+
+``t`` is seconds since the tracer was created (``time.perf_counter``
+based, so it never goes backwards and is immune to wall-clock jumps);
+``ev`` names the event type; all other keys are event-specific and
+documented in ``docs/observability.md``.
+
+Two storage modes:
+
+* **file mode** (``path=...``): events are written to a JSONL file as
+  they happen — the black box recovered after a wedged run;
+* **ring mode** (``ring=N``): only the last ``N`` events are kept in a
+  bounded in-memory deque, for sweeps too large to trace in full; the
+  retained tail can still be dumped with :meth:`Tracer.dump`.
+
+Both can be combined (``path=... , ring=N``): the file then receives
+only the retained tail at :meth:`close` instead of a live stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+
+class Tracer:
+    """An enabled trace sink (see module docstring for the modes)."""
+
+    enabled = True
+
+    def __init__(self, path=None, ring: int | None = None, _clock=None):
+        if ring is not None and ring < 1:
+            raise ValueError("ring must be >= 1")
+        self._clock = _clock or time.perf_counter
+        self._t0 = self._clock()
+        self._path = str(path) if path is not None else None
+        self._ring = ring
+        self._events: deque = deque(maxlen=ring)
+        self._fh = None
+        if self._path is not None and ring is None:
+            self._fh = open(self._path, "w")
+
+    def emit(self, ev: str, **fields) -> None:
+        """Record one event (timestamped now)."""
+        rec = {"t": round(self._clock() - self._t0, 6), "ev": ev}
+        rec.update(fields)
+        if self._fh is not None:
+            self._fh.write(json.dumps(rec) + "\n")
+        else:
+            self._events.append(rec)
+
+    def events(self) -> list[dict]:
+        """The in-memory events (ring tail, or everything in memory mode)."""
+        return list(self._events)
+
+    def dump(self, path) -> None:
+        """Write the retained events to ``path`` as JSONL."""
+        with open(path, "w") as fh:
+            for rec in self._events:
+                fh.write(json.dumps(rec) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file sink (ring mode writes its tail now)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        elif self._path is not None:
+            self.dump(self._path)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer:
+    """The disabled tracer: :meth:`emit` is a no-op."""
+
+    enabled = False
+
+    def emit(self, ev: str, **fields) -> None:
+        pass
+
+    def events(self) -> list[dict]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+#: the shared disabled tracer
+NULL_TRACER = NullTracer()
+
+
+def read_trace(path) -> list[dict]:
+    """Load a JSONL trace file back into a list of event dicts.
+
+    Blank lines are skipped, so traces survive manual editing; a
+    malformed line raises ``json.JSONDecodeError`` with the line number
+    attached for context.
+    """
+    events: list[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise json.JSONDecodeError(
+                    f"{exc.msg} (trace line {lineno})", exc.doc, exc.pos
+                ) from None
+    return events

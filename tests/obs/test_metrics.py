@@ -1,0 +1,115 @@
+"""Metrics registry: instruments, labels, exposition, null discipline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("sweeps")
+    c.inc()
+    c.inc(4)
+    assert reg.counter("sweeps") is c
+    assert c.snapshot() == 5
+
+
+def test_labels_are_distinct_series():
+    reg = MetricsRegistry()
+    reg.counter("batches", worker=0).inc(2)
+    reg.counter("batches", worker=1).inc(3)
+    snap = reg.snapshot()
+    assert snap["batches{worker=0}"] == 2
+    assert snap["batches{worker=1}"] == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("x", b=1, a=2)
+    b = reg.counter("x", a=2, b=1)
+    assert a is b
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("frontier")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.snapshot() == 12
+
+
+def test_histogram_buckets_and_summary():
+    h = MetricsRegistry().histogram("lat", bounds=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 2.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(3.05)
+    assert snap["min"] == 0.05
+    assert snap["max"] == 2.0
+    assert snap["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 1}
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("m")
+
+
+def test_render_json_round_trips():
+    reg = MetricsRegistry()
+    reg.counter("states").inc(7)
+    reg.gauge("workers", backend="process").set(4)
+    parsed = json.loads(reg.render_json())
+    assert parsed["states"] == 7
+    assert parsed["workers{backend=process}"] == 4
+
+
+def test_render_prometheus_text():
+    reg = MetricsRegistry()
+    reg.counter("states").inc(7)
+    reg.counter("batches", worker=0).inc(2)
+    h = reg.histogram("lat", bounds=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.render_prometheus()
+    assert "# TYPE states counter" in text
+    assert "states 7" in text
+    assert 'batches{worker="0"} 2' in text
+    # buckets are cumulative, Prometheus-style, with a +Inf bucket
+    assert 'lat_bucket{le="0.1"} 1' in text
+    assert 'lat_bucket{le="1.0"} 2' in text
+    assert 'lat_bucket{le="+Inf"} 2' in text
+    assert "lat_sum 0.55" in text
+    assert "lat_count 2" in text
+    assert text.endswith("\n")
+
+
+def test_null_registry_is_inert_and_shared():
+    assert NULL_REGISTRY.enabled is False
+    c = NULL_REGISTRY.counter("anything", label=1)
+    g = NULL_REGISTRY.gauge("other")
+    h = NULL_REGISTRY.histogram("third")
+    assert c is g is h  # one shared no-op instrument
+    c.inc()
+    g.set(5)
+    h.observe(0.1)
+    assert NULL_REGISTRY.snapshot() == {}
+
+
+def test_instrument_kinds():
+    reg = MetricsRegistry()
+    assert isinstance(reg.counter("a"), Counter)
+    assert isinstance(reg.gauge("b"), Gauge)
+    assert isinstance(reg.histogram("c"), Histogram)

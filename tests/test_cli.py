@@ -22,7 +22,7 @@ def test_check_single_requirement(capsys):
 def test_check_error1_fails_with_trace(capsys):
     code = main([
         "check", "--config", "1", "--variant", "error1", "--cyclic",
-        "--requirement", "1", "--trace",
+        "--requirement", "1", "--show-trace",
     ])
     out = capsys.readouterr().out
     assert code == 1
@@ -268,3 +268,110 @@ def test_lint_malformed_extra_formula_exit_2(capsys):
     err = capsys.readouterr().err
     assert code == 2
     assert err.startswith("error:")
+
+
+# -- flight recorder (--trace / --metrics-out / repro report) ---------------
+
+
+def test_explore_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    from repro.obs.tracer import read_trace
+
+    trace = tmp_path / "sweep.jsonl"
+    metrics = tmp_path / "m.json"
+    code = main([
+        "explore", "--config", "1",
+        "--trace", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert code == 0
+    events = read_trace(trace)
+    kinds = [e["ev"] for e in events]
+    assert "sweep_start" in kinds and "sweep_end" in kinds and "wave" in kinds
+    snap = json.loads(metrics.read_text())
+    assert snap["repro_sweep_states_total"] > 0
+    err = capsys.readouterr().err
+    assert f"written: {trace}" in err
+    assert f"written: {metrics}" in err
+
+
+def test_metrics_out_prometheus_suffix(tmp_path):
+    metrics = tmp_path / "m.prom"
+    code = main(["explore", "--config", "1", "--metrics-out", str(metrics)])
+    assert code == 0
+    text = metrics.read_text()
+    assert "# TYPE repro_sweeps_total counter" in text
+    assert 'repro_sweeps_total{backend="engine",outcome="ok"} 1' in text
+
+
+def test_trace_ring_bounds_the_file(tmp_path):
+    from repro.obs.tracer import read_trace
+
+    trace = tmp_path / "tail.jsonl"
+    code = main([
+        "explore", "--config", "1",
+        "--trace", str(trace), "--trace-ring", "5",
+    ])
+    assert code == 0
+    assert len(read_trace(trace)) == 5
+
+
+def test_check_trace_records_requirement_events(tmp_path):
+    from repro.obs.tracer import read_trace
+
+    trace = tmp_path / "check.jsonl"
+    code = main([
+        "check", "--config", "1", "--requirement", "1",
+        "--trace", str(trace),
+    ])
+    assert code == 0
+    checks = [e for e in read_trace(trace) if e["ev"] == "check"]
+    assert len(checks) == 1
+    assert checks[0]["holds"] is True
+
+
+def test_report_renders_trace(tmp_path, capsys):
+    trace = tmp_path / "sweep.jsonl"
+    assert main(["explore", "--config", "1", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    code = main(["report", str(trace)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flight recorder report" in out
+    assert "sweep 1: engine" in out
+    assert "phase breakdown:" in out
+
+
+def test_report_missing_file_exits_2(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "absent.jsonl")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+
+
+def test_report_malformed_trace_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"t": 0.1, "ev": "a"}\nnot json\n')
+    code = main(["report", str(bad)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "malformed" in err
+
+
+def test_bench_report_embeds_phases_and_metrics(tmp_path):
+    import json
+
+    out = tmp_path / "B.json"
+    code = main([
+        "bench", "--config", "1", "--rounds", "1",
+        "--backends", "serial,engine", "--out", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    phases = report["phases"]
+    assert set(phases) == {
+        "successors_s", "dedup_s", "transport_s", "other_s", "total_s"
+    }
+    assert phases["total_s"] > 0
+    assert report["metrics"]["repro_sweep_states_total"] == \
+        report["system"]["states"]

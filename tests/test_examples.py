@@ -69,3 +69,12 @@ def test_lpe_pipeline():
     assert "strongly bisimilar to the direct SOS semantics: True" in out
     assert "branching-bisimilar to a one-place buffer: True" in out
     assert "divergence-sensitive equivalent to the buffer: False" in out
+
+
+@pytest.mark.slow
+def test_trace_replay():
+    out = run_example("trace_replay.py")
+    assert "flight recorder report" in out
+    assert "requirement checks:" in out
+    assert "phase breakdown (replayed from the trace):" in out
+    assert "ring mode kept the last 8" in out
