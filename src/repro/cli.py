@@ -11,6 +11,8 @@ checking, trace narration — as subcommands::
     python -m repro litmus
     python -m repro formula --config 1 '[T*.c_home] F'
     python -m repro bench   --config 1 --out BENCH_explore.json --profile
+    python -m repro lint    --config 2 --certify --cert-out CERT.json
+    python -m repro check   --config 2 --reduce CERT.json
     python -m repro explore --config 1 --trace sweep.jsonl --metrics-out m.json
     python -m repro report  sweep.jsonl
 """
@@ -75,6 +77,22 @@ def _add_model_args(p: argparse.ArgumentParser) -> None:
                    help="abort beyond this many states")
 
 
+def _add_reduce_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--reduce", default=None, metavar="CERT.json",
+                   help="sweep under the symmetry/ample reduction this "
+                   "certificate licenses (issued by `repro lint "
+                   "--certify`); refuses with exit 2 unless the "
+                   "certificate validates for this exact spec")
+
+
+def _certificate(args):
+    if getattr(args, "reduce", None) is None:
+        return None
+    from repro.staticcheck.certificates import load
+
+    return load(args.reduce)
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("observability")
     g.add_argument("--trace", default=None, metavar="JSONL",
@@ -135,13 +153,18 @@ def _cmd_check(args) -> int:
 
 
 def _run_check(args, cfg, variant) -> int:
+    cert = _certificate(args)
     if args.requirement:
-        rep = _CHECKS[args.requirement](cfg, variant, max_states=args.max_states)
+        rep = _CHECKS[args.requirement](
+            cfg, variant, max_states=args.max_states, certificate=cert
+        )
         print(rep.summary())
         if rep.trace is not None and args.show_trace:
             print(rep.trace.format())
         return 0 if rep.holds else 1
-    results = check_all_requirements(cfg, variant, max_states=args.max_states)
+    results = check_all_requirements(
+        cfg, variant, max_states=args.max_states, certificate=cert
+    )
     table = Table(
         f"requirements on config {args.config} ({variant.describe()}, "
         f"{cfg.describe()})",
@@ -163,9 +186,11 @@ def _cmd_explore(args) -> int:
 
     cfg = _config(args)
     variant = _VARIANTS[args.variant]()
+    cert = _certificate(args)
     with _instrumented(args):
         _model, lts = build_lts(
-            cfg, variant, probes=args.probes, max_states=args.max_states
+            cfg, variant, probes=args.probes, max_states=args.max_states,
+            certificate=cert,
         )
     summary = lts_summary(lts)
     print(Table(f"LTS of config {args.config} ({variant.describe()})",
@@ -247,6 +272,7 @@ def _cmd_bench(args) -> int:
                 "'distributed'"
             )
         faults = FaultPlan.parse(",".join(args.inject_fault))
+    cert = _certificate(args)
     try:
         with _instrumented(args):
             report = bench_explore(
@@ -257,6 +283,7 @@ def _cmd_bench(args) -> int:
                 profile=args.profile,
                 faults=faults,
                 batch_size=args.batch_size,
+                certificate=cert,
             )
     except BenchMismatchError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
@@ -334,6 +361,14 @@ def _cmd_lint(args) -> int:
     report = run_lint(
         cfg, variant, formulas=formulas, suppress=tuple(args.suppress)
     )
+    cert = None
+    if args.certify:
+        from repro.staticcheck.symmetry import certify
+
+        # certification failure surfaces as JKL30x findings in the
+        # report (machine-readable in --json) and flips the exit code
+        cert, cert_findings = certify(cfg, variant)
+        report.extend(cert_findings)
     rendered = report.render_json() if args.json else report.render_text()
     if args.out:
         with open(args.out, "w") as fh:
@@ -341,6 +376,9 @@ def _cmd_lint(args) -> int:
         print(f"written: {args.out}")
     else:
         print(rendered)
+    if cert is not None:
+        cert.save(args.cert_out)
+        print(f"written: {args.cert_out}")
     return report.exit_code
 
 
@@ -374,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="check one requirement (default: all)")
     p.add_argument("--show-trace", action="store_true",
                    help="print the counterexample trace if any")
+    _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_check)
 
@@ -382,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--probes", action="store_true",
                    help="include the observability probe self-loops")
     p.add_argument("--aut", default=None, help="write the LTS to this path")
+    _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_explore)
 
@@ -427,6 +467,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the report (e.g. BENCH_explore.json)")
     p.add_argument("--min-sps", type=float, default=None,
                    help="exit 1 if the best backend is slower than this")
+    _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_bench)
 
@@ -463,6 +504,13 @@ def main(argv: list[str] | None = None) -> int:
                    "labels of this mu-calculus formula (repeatable)")
     p.add_argument("--rules", action="store_true",
                    help="list the rule catalogue and exit")
+    p.add_argument("--certify", action="store_true",
+                   help="additionally certify the spec for symmetry/"
+                   "ample reduction; failures surface as JKL30x "
+                   "findings (exit 1), success writes --cert-out")
+    p.add_argument("--cert-out", default="CERT.json", metavar="FILE",
+                   help="where --certify writes the signed reduction "
+                   "certificate (default CERT.json)")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("formula", help="check a mu-calculus formula")

@@ -340,6 +340,30 @@ class StateCodec:
         )
         return (threads, copies, hq, rq, hqa, rqa, locks, migs)
 
+    def canonicalize(self, state, perms):
+        """Minimal ``(key, representative)`` over the orbit of ``state``.
+
+        ``perms`` are the *non-identity* members of a certified
+        permutation group (duck-typed: anything with ``apply``, e.g.
+        :class:`repro.staticcheck.symmetry.Permutation`); the state
+        itself always competes, so the identity must not be passed.
+        The minimal packed key is a total, permutation-invariant
+        choice of orbit representative — the symmetry-reduced visited
+        set keys on it.
+        """
+        best_key = self.encode(state)
+        best_state = state
+        for perm in perms:
+            permuted = perm.apply(state)
+            key = self.encode(permuted)
+            if key < best_key:
+                best_key, best_state = key, permuted
+        return best_key, best_state
+
+    def encode_canonical(self, state, perms) -> int:
+        """The canonical (orbit-minimal) packed key of ``state``."""
+        return self.canonicalize(state, perms)[0]
+
     def encode_bytes(self, state) -> bytes:
         """The packed key as a fixed-width big-endian byte string."""
         return self.encode(state).to_bytes(self.n_bytes, "big")

@@ -115,15 +115,32 @@ def build_lts(
     probes: bool,
     max_states: int | None = None,
     keep_states: bool = False,
+    certificate=None,
 ) -> tuple[JackalModel, LTS]:
     """Explore the protocol into an explicit LTS.
 
     Generation goes through the fast engine; BFS numbering is identical
     to :func:`repro.lts.explore.explore`, so shortest-trace extraction
     is unaffected.
+
+    With a reduction ``certificate`` the sweep runs on the certified
+    reduced view (:mod:`repro.lts.certreduce`). Which reduction applies
+    depends on what the LTS is for: the probe LTS (Requirement 3)
+    checks orbit-invariant formulas and takes the full symmetry
+    quotient plus ample pruning; the plain LTS also carries the
+    per-thread Requirement-4 inevitability formulas (``write(t0)`` …),
+    which are *not* invariant under the quotient's frame changes — it
+    gets ample pruning only. Verdicts are preserved either way; traces
+    extracted from a reduced LTS are representatives up to the
+    certified commutations, not necessarily the shortest concrete run.
     """
     model = build_model(config, variant, probes=probes)
-    lts = explore_fast(model, max_states=max_states, keep_states=keep_states)
+    system = model
+    if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
+        system = ReducedSystem(model, certificate, canonical=probes)
+    lts = explore_fast(system, max_states=max_states, keep_states=keep_states)
     return model, lts
 
 
@@ -140,11 +157,13 @@ def check_requirement_1(
     max_states: int | None = None,
     lts: LTS | None = None,
     model: JackalModel | None = None,
+    certificate=None,
 ) -> RequirementReport:
     """The protocol never wedges (improper terminal states unreachable)."""
     if lts is None or model is None:
         model, lts = build_lts(
-            config, variant, probes=False, max_states=max_states, keep_states=True
+            config, variant, probes=False, max_states=max_states,
+            keep_states=True, certificate=certificate,
         )
     # assertion-violation sink states belong to Requirement 2, not here
     report = find_deadlocks(
@@ -213,11 +232,13 @@ def check_requirement_2(
     *,
     max_states: int | None = None,
     lts: LTS | None = None,
+    certificate=None,
 ) -> RequirementReport:
     """No assertion from the protocol description is violated."""
     if lts is None:
         _model, lts = build_lts(
-            config, variant, probes=False, max_states=max_states
+            config, variant, probes=False, max_states=max_states,
+            certificate=certificate,
         )
     violated = [lab for lab in lts.labels if lab.startswith(ASSERTION_PREFIX)]
     trace = None
@@ -273,10 +294,14 @@ def check_requirement_3_1(
     *,
     max_states: int | None = None,
     lts: LTS | None = None,
+    certificate=None,
 ) -> RequirementReport:
     """Each region has at most one home node at any time."""
     if lts is None:
-        _model, lts = build_lts(config, variant, probes=True, max_states=max_states)
+        _model, lts = build_lts(
+            config, variant, probes=True, max_states=max_states,
+            certificate=certificate,
+        )
     f = formula_3_1()
     ok = holds(lts, f)
     trace = None
@@ -299,6 +324,7 @@ def check_requirement_3_2(
     *,
     max_states: int | None = None,
     lts: LTS | None = None,
+    certificate=None,
 ) -> RequirementReport:
     """In a stable state a region has at most ``n - 1`` copies.
 
@@ -312,7 +338,10 @@ def check_requirement_3_2(
             detail="skipped: formulated (as in the paper) for 2 processors",
         )
     if lts is None:
-        _model, lts = build_lts(config, variant, probes=True, max_states=max_states)
+        _model, lts = build_lts(
+            config, variant, probes=True, max_states=max_states,
+            certificate=certificate,
+        )
     f = formula_3_2_bad_state()
     bad_reachable = holds(lts, f)
     trace = None
@@ -375,6 +404,7 @@ def check_requirement_4(
     *,
     max_states: int | None = None,
     lts: LTS | None = None,
+    certificate=None,
 ) -> RequirementReport:
     """Writes and flushes eventually complete for every thread.
 
@@ -385,7 +415,10 @@ def check_requirement_4(
     """
     fair = config.rounds is None
     if lts is None:
-        _model, lts = build_lts(config, variant, probes=False, max_states=max_states)
+        _model, lts = build_lts(
+            config, variant, probes=False, max_states=max_states,
+            certificate=certificate,
+        )
     failures = []
     for tid in range(config.n_threads):
         if not holds(lts, formula_4_write(tid, fair=fair)):
@@ -426,18 +459,21 @@ def check_all_requirements(
     *,
     max_states: int | None = None,
     skip: tuple[str, ...] = (),
+    certificate=None,
 ) -> dict[str, RequirementReport]:
     """Run requirements 1-4, sharing the two LTS explorations.
 
     ``skip`` may name requirement keys (``"1"``, ``"2"``, ``"3.1"``,
     ``"3.2"``, ``"4"``) to omit — the paper could only check 1 and 2 on
-    its third configuration.
+    its third configuration. ``certificate`` reduces both explorations
+    (see :func:`build_lts` for which reduction each LTS can take).
     """
     out: dict[str, RequirementReport] = {}
     plain_model = plain_lts = None
     if not {"1", "2", "4"} <= set(skip):
         plain_model, plain_lts = build_lts(
-            config, variant, probes=False, max_states=max_states, keep_states=True
+            config, variant, probes=False, max_states=max_states,
+            keep_states=True, certificate=certificate,
         )
     if "1" not in skip:
         out["1"] = check_requirement_1(
@@ -447,7 +483,8 @@ def check_all_requirements(
         out["2"] = check_requirement_2(config, variant, lts=plain_lts)
     if "3.1" not in skip or "3.2" not in skip:
         _m, probe_lts = build_lts(
-            config, variant, probes=True, max_states=max_states
+            config, variant, probes=True, max_states=max_states,
+            certificate=certificate,
         )
         if "3.1" not in skip:
             out["3.1"] = check_requirement_3_1(config, variant, lts=probe_lts)

@@ -27,6 +27,10 @@ The resulting report is a plain dict so the CLI can dump it as
     the metrics snapshot of that pass, plus the distributed backend's
     recovery counters (worker deaths, re-dispatched batches) when it
     ran.
+``reduction``
+    present when a reduction certificate was supplied: unreduced vs
+    reduced visited counts, the reduction ``factor``, and the
+    canonicalization/pruning counters of one reduced sweep.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ def bench_explore(
     profile: bool = False,
     faults=None,
     batch_size: int | None = None,
+    certificate=None,
 ) -> dict:
     """Benchmark exploration backends on ``system`` and cross-check them.
 
@@ -85,9 +90,22 @@ def bench_explore(
         serial reference counts exactly.
     batch_size:
         States per distributed work batch (default 256).
+    certificate:
+        Optional :class:`~repro.staticcheck.certificates.ReductionCertificate`.
+        When given, every backend sweeps the certificate-validated
+        reduced view (:class:`~repro.lts.certreduce.ReducedSystem`) —
+        the cross-check then covers the reduced system — and the
+        report gains a ``reduction`` block comparing one unreduced
+        engine pass against the reduced sweep (``factor`` is the
+        visited-state ratio).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    base_system = system
+    if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
+        system = ReducedSystem(base_system, certificate)
     report: dict = {"backends": {}, "speedup": {}}
 
     # build the per-round run list; rounds interleave the backends so
@@ -167,6 +185,26 @@ def bench_explore(
             row["states_per_second"] / serial_sps if serial_sps else 0.0
         )
 
+    if certificate is not None:
+        # one unreduced reference pass + one clean reduced pass (the
+        # timed wrapper's counters accumulated across repeats) so the
+        # reported factor and counters describe a single sweep each
+        unreduced = explore_fast(base_system)
+        hits0 = (system.canonical_hits, system.ample_prunes)
+        reduced = explore_fast(system)
+        report["reduction"] = {
+            "unreduced_states": unreduced.n_states,
+            "unreduced_transitions": unreduced.n_transitions,
+            "states": reduced.n_states,
+            "transitions": reduced.n_transitions,
+            "factor": (
+                unreduced.n_states / reduced.n_states
+                if reduced.n_states else 0.0
+            ),
+            "canonical_hits": system.canonical_hits - hits0[0],
+            "ample_prunes": system.ample_prunes - hits0[1],
+        }
+
     # one extra instrumented engine pass feeds the phase breakdown and
     # metrics snapshot — never the timed runs above, so the throughput
     # numbers stay un-instrumented
@@ -213,6 +251,14 @@ def format_bench(report: dict) -> str:
             f"{name:<15} {row['seconds']:>9.3f} "
             f"{row['states_per_second']:>12.0f} "
             f"{report['speedup'][name]:>8.2f}x"
+        )
+    red = report.get("reduction")
+    if red:
+        lines.append(
+            f"reduction: {red['unreduced_states']} -> {red['states']} "
+            f"states (factor {red['factor']:.2f}x, "
+            f"canonical_hits={red['canonical_hits']}, "
+            f"ample_prunes={red['ample_prunes']})"
         )
     dist = report["backends"].get("distributed")
     if dist:

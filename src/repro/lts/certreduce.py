@@ -1,0 +1,186 @@
+"""Certificate-gated reduced view of a transition system.
+
+:class:`ReducedSystem` wraps a :class:`~repro.jackal.model.JackalModel`
+(or anything exposing ``config``/``variant``/``codec()``) and presents
+the same ``TransitionSystem`` protocol, so *every* sweep backend —
+serial :func:`~repro.lts.explore.explore`, the columnar
+:func:`~repro.lts.engine.explore_fast`, and the multiprocessing
+:func:`~repro.lts.distributed.distributed_explore` — reduces
+identically with no per-backend BFS changes:
+
+* **symmetry quotient** (``canonical=True``): every successor state is
+  replaced by its orbit representative — the state with the minimal
+  packed key under the certified permutation group — so the visited
+  set counts orbits, not states;
+* **ample pruning** (``ample=True``): when a *safe-class* transition
+  (certified invisible and statically independent of every other
+  enabled transition) is enabled, it alone is expanded; the commuting
+  interleavings are pruned. Safe-class transitions strictly move queue
+  content toward handlers and never re-enable each other, so a cycle
+  of pruned states is impossible (the ignoring proviso holds).
+
+Per-thread-indexed properties (Requirement 4's ``write(t)``
+inevitability) are not invariant under the quotient's frame changes,
+so the requirement driver runs them with ``canonical=False`` — ample
+pruning alone preserves action traces up to invisible stuttering.
+
+Construction *refuses* to reduce unless the certificate validates for
+the wrapped system's exact configuration and variant (JKL303–JKL305);
+there is no degraded mode. The wrapper counts ``canonical_hits``
+(successors whose key changed under canonicalization) and
+``ample_prunes`` (transitions pruned), which the backends surface as
+``repro_reduce_*`` metrics and ``bench_explore`` turns into the
+reported reduction factor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def _build_perms(cert):
+    from repro.staticcheck.symmetry import Permutation
+
+    return tuple(
+        Permutation(tuple(entry["pid_map"]), tuple(entry["tid_map"]))
+        for entry in cert.group
+    )
+
+
+class ReducedSystem:
+    """A certified symmetry/ample-reduced view of ``system``."""
+
+    def __init__(
+        self,
+        system,
+        certificate,
+        *,
+        canonical: bool = True,
+        ample: bool = True,
+        _validated: bool = False,
+    ):
+        config = getattr(system, "config", None)
+        variant = getattr(system, "variant", None)
+        if config is None or variant is None:
+            raise ReproError(
+                "refusing to reduce: the wrapped system carries no "
+                "config/variant to validate the certificate against "
+                "(JKL305)"
+            )
+        if not _validated:
+            from repro.staticcheck.certificates import validate
+
+            findings = validate(certificate, config, variant)
+            if findings:
+                reasons = "; ".join(
+                    f"{f.rule} {f.message}" for f in findings
+                )
+                raise ReproError(f"refusing to reduce: {reasons}")
+        self.system = system
+        self.certificate = certificate
+        self.canonical = canonical
+        self.ample = ample
+        self._perms = _build_perms(certificate) if canonical else ()
+        self._codec = system.codec()
+        self._footprints: dict = {}
+        self._safe: dict = {}
+        #: successors whose visited key changed under canonicalization
+        self.canonical_hits = 0
+        #: commuting transitions pruned by singleton ample sets
+        self.ample_prunes = 0
+
+    # pickled into distributed workers; the parent already validated
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (self.system, self.certificate, self.canonical, self.ample),
+        )
+
+    def __getattr__(self, name):
+        if name == "system":  # guard: __init__ may not have run yet
+            raise AttributeError(name)
+        # config, variant, is_done_state, pid_of, ... fall through
+        return getattr(self.system, name)
+
+    def codec(self):
+        return self._codec
+
+    def initial_state(self):
+        init = self.system.initial_state()
+        if not self.canonical:
+            return init
+        return self._codec.canonicalize(init, self._perms)[1]
+
+    # -- the reduction ---------------------------------------------------
+
+    def _footprint(self, label):
+        fp = self._footprints.get(label)
+        if fp is None:
+            from repro.staticcheck.independence import label_footprint
+
+            fp = self._footprints[label] = label_footprint(
+                label, self.system.config
+            )
+        return fp
+
+    def _is_safe(self, label):
+        safe = self._safe.get(label)
+        if safe is None:
+            from repro.staticcheck.independence import is_safe
+
+            safe = self._safe[label] = is_safe(label)
+        return safe
+
+    def _prune(self, moves):
+        if len(moves) < 2:
+            return moves
+        from repro.staticcheck.independence import may_commute
+
+        fps = None
+        for i, (label, _ns) in enumerate(moves):
+            if not self._is_safe(label):
+                continue
+            if fps is None:
+                fps = [self._footprint(lbl) for lbl, _ in moves]
+            mine = fps[i]
+            if all(
+                may_commute(mine, fps[j])
+                for j in range(len(moves))
+                if j != i
+            ):
+                self.ample_prunes += len(moves) - 1
+                return [moves[i]]
+        return moves
+
+    def _reduce_moves(self, moves):
+        if self.ample:
+            moves = self._prune(moves)
+        if not self.canonical:
+            return moves
+        out = []
+        canonicalize = self._codec.canonicalize
+        perms = self._perms
+        for label, ns in moves:
+            _key, rep = canonicalize(ns, perms)
+            if rep is not ns:
+                self.canonical_hits += 1
+            out.append((label, rep))
+        return out
+
+    def successors(self, state):
+        return self._reduce_moves(self.system.successors(state))
+
+    def successors_fast(self, state):
+        base = getattr(self.system, "successors_fast", None)
+        moves = base(state) if base else self.system.successors(state)
+        return self._reduce_moves(moves)
+
+
+def _rebuild(system, certificate, canonical, ample):
+    return ReducedSystem(
+        system,
+        certificate,
+        canonical=canonical,
+        ample=ample,
+        _validated=True,
+    )

@@ -781,6 +781,7 @@ def distributed_explore(
     poll_interval: float = _POLL,
     batch_size: int | None = None,
     fault_tolerant: bool = True,
+    certificate=None,
     obs=None,
 ) -> tuple[LTS | None, DistributedStats]:
     """Partitioned sweep of ``system`` (pipelined when ``"process"``).
@@ -827,6 +828,14 @@ def distributed_explore(
         :class:`~repro.errors.WorkerFailureError` (with partial stats
         attached) instead of recovering. Crash *detection* stays on
         either way: the coordinator never hangs on a dead worker.
+    certificate:
+        Optional :class:`~repro.staticcheck.certificates.ReductionCertificate`.
+        When given, workers sweep a certificate-validated
+        :class:`~repro.lts.certreduce.ReducedSystem` view (validated
+        once at the coordinator; workers receive the wrapper
+        pre-validated through pickling) and the sweep refuses with
+        :class:`~repro.errors.ReproError` if the certificate does not
+        validate for this system (JKL303–JKL305).
     obs:
         Optional :class:`~repro.obs.core.Instrumentation`; defaults to
         the ambient bundle. When enabled, the sweep emits lifecycle
@@ -848,6 +857,10 @@ def distributed_explore(
         ``fault_tolerant=False``; detection (and therefore the raise)
         happens within ``poll_interval`` of the death, never a hang.
     """
+    if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
+        system = ReducedSystem(system, certificate)
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     if backend not in ("process", "inline"):

@@ -59,6 +59,7 @@ def explore_fast(
     memo: MutableMapping[Hashable, list] | None = None,
     packed: bool = False,
     codec=None,
+    certificate=None,
     obs=None,
 ) -> LTS:
     """Generate the reachable LTS of ``system`` by breadth-first search.
@@ -82,14 +83,34 @@ def explore_fast(
     codec:
         Codec overriding the system-provided one; must expose
         ``encode``/``decode``.
+    certificate:
+        Optional :class:`~repro.staticcheck.certificates.ReductionCertificate`.
+        When given, the sweep runs on a certificate-validated
+        :class:`~repro.lts.certreduce.ReducedSystem` view (symmetry
+        quotient + ample pruning) and refuses with
+        :class:`~repro.errors.ReproError` if the certificate does not
+        validate for this system (JKL303–JKL305). Do not share a
+        ``memo`` between reduced and unreduced sweeps — the memoised
+        relations differ.
     obs:
         Optional :class:`~repro.obs.core.Instrumentation`; defaults to
         the ambient bundle. Disabled instrumentation costs one branch
         per BFS wave — the hot per-state loops are untouched.
     """
+    if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
+        system = ReducedSystem(system, certificate)
     if obs is None:
         obs = _current_obs()
     recording = obs.enabled
+    # reduction counters are cumulative on the (possibly reused)
+    # wrapper, so metrics report this sweep's delta
+    red0 = (
+        (system.canonical_hits, system.ample_prunes)
+        if hasattr(system, "canonical_hits")
+        else None
+    )
     if stats is None:
         # every exit path (incl. the limit error, which carries this
         # object on .stats) then reports complete timing
@@ -193,6 +214,13 @@ def explore_fast(
         )
         if memo is not None:
             m.counter("repro_memo_hits_total").inc(memo_hits[0])
+        if red0 is not None:
+            m.counter("repro_reduce_canonical_hits_total").inc(
+                system.canonical_hits - red0[0]
+            )
+            m.counter("repro_reduce_ample_prunes_total").inc(
+                system.ample_prunes - red0[1]
+            )
         # visited-probe hits: probes that found an already-numbered
         # state (every transition probes once; discoveries miss)
         m.counter("repro_visited_probe_hits_total").inc(len(src) - n)

@@ -64,6 +64,7 @@ def explore(
     keep_states: bool = False,
     on_level: Callable[[int, int], None] | None = None,
     stats: ExplorationStats | None = None,
+    certificate=None,
     obs=None,
 ) -> LTS:
     """Generate the reachable LTS of ``system`` by breadth-first search.
@@ -89,6 +90,13 @@ def explore(
         Optional stats object to fill in. A fresh one is created when
         omitted so every exit path — including the limit error, which
         carries it on ``.stats`` — reports complete timing.
+    certificate:
+        Optional :class:`~repro.staticcheck.certificates.ReductionCertificate`.
+        When given, the sweep runs on a certificate-validated
+        :class:`~repro.lts.certreduce.ReducedSystem` view (symmetry
+        quotient + ample pruning) and refuses with
+        :class:`~repro.errors.ReproError` if the certificate does not
+        validate for this system (JKL303–JKL305).
     obs:
         Optional :class:`~repro.obs.core.Instrumentation`; defaults to
         the ambient bundle (disabled unless activated).
@@ -98,9 +106,20 @@ def explore(
     LTS
         States are numbered in BFS discovery order; state 0 is initial.
     """
+    if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
+        system = ReducedSystem(system, certificate)
     if obs is None:
         obs = _current_obs()
     recording = obs.enabled
+    # reduction counters are cumulative on the (possibly reused)
+    # wrapper, so metrics report this sweep's delta
+    red0 = (
+        (system.canonical_hits, system.ample_prunes)
+        if hasattr(system, "canonical_hits")
+        else None
+    )
     if stats is None:
         stats = ExplorationStats()
     t0 = time.perf_counter()
@@ -162,6 +181,13 @@ def explore(
         m.gauge("repro_sweep_states_per_second", backend="serial").set(
             round(stats.states_per_second(), 1)
         )
+        if red0 is not None:
+            m.counter("repro_reduce_canonical_hits_total").inc(
+                system.canonical_hits - red0[0]
+            )
+            m.counter("repro_reduce_ample_prunes_total").inc(
+                system.ample_prunes - red0[1]
+            )
 
     while frontier:
         if max_depth is not None and depth >= max_depth:

@@ -1,0 +1,273 @@
+"""Signed reduction certificates and the spec fingerprint keying them.
+
+A :class:`ReductionCertificate` is the machine-checkable contract
+between the static pass (:mod:`repro.staticcheck.symmetry`,
+:mod:`repro.staticcheck.independence`) and the exploration backends:
+*this* specification, at *this* fingerprint, is invariant under *these*
+permutations, and *these* summand footprints justify ample pruning.
+Backends refuse to reduce without a certificate that validates — the
+failure modes are the JKL303–JKL305 rules:
+
+* **JKL303** — fingerprint mismatch: the certificate was issued for a
+  different (or since-edited) specification;
+* **JKL304** — signature mismatch: the payload was edited after
+  issuance (the signature is keyed-hash tamper *evidence*, not a
+  cryptographic trust root — anyone with this source can re-sign);
+* **JKL305** — malformed: wrong schema version, an inadmissible
+  permutation for the configuration, or an independence table that
+  does not match what the current analysis derives.
+
+The fingerprint covers the configuration, the variant flags, the
+model's label vocabulary, the packed-state width, and a digest of the
+model/spec/codec sources: any change that could alter the transition
+relation re-keys the certificate and stales every old one (JKL303).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.errors import ReproError
+from repro.jackal.params import Config, ProtocolVariant
+from repro.staticcheck.findings import Finding, Severity
+
+#: version of the certificate JSON layout; validation rejects others
+CERT_SCHEMA_VERSION = 1
+
+_SIGNING_TAG = b"repro-reduction-certificate-v1:"
+
+
+def _config_dict(config: Config) -> dict:
+    return {
+        "threads_per_processor": list(config.threads_per_processor),
+        "n_regions": config.n_regions,
+        "initial_home": config.initial_home,
+        "rounds": config.rounds,
+        "writes_per_round": config.writes_per_round,
+    }
+
+
+def _variant_dict(variant: ProtocolVariant) -> dict:
+    return asdict(variant)
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def spec_fingerprint(config: Config, variant: ProtocolVariant) -> str:
+    """The sha256 key a certificate for this spec is issued under.
+
+    Computed by ``repro lint`` on every run (it is part of the JSON
+    report) and by every consumer before reducing.
+    """
+    from repro.jackal import codec as codec_mod
+    from repro.jackal import model as model_mod
+    from repro.jackal import mucrl_spec as spec_mod
+    from repro.jackal.model import JackalModel
+    from repro.staticcheck.labelcheck import model_labels
+
+    model = JackalModel(replace(config, with_probes=True), variant)
+    sources = hashlib.sha256()
+    for mod in (model_mod, codec_mod, spec_mod):
+        sources.update(inspect.getsource(mod).encode())
+    payload = {
+        "config": _config_dict(config),
+        "variant": _variant_dict(variant),
+        "labels": sorted(model_labels(model)),
+        "state_bits": model.codec().n_bits,
+        "sources": sources.hexdigest(),
+    }
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+@dataclass
+class ReductionCertificate:
+    """One certified reduction: symmetry group + independence table."""
+
+    fingerprint: str
+    config: dict
+    variant: dict
+    #: non-identity admissible permutations, ``{"pid_map", "tid_map"}``
+    group: list = field(default_factory=list)
+    #: per-label footprint table (see ``independence.ample_table``)
+    independence: dict = field(default_factory=dict)
+    #: how hard the equivariance self-test looked before signing
+    selftest: dict = field(default_factory=dict)
+    schema_version: int = CERT_SCHEMA_VERSION
+    signature: str = ""
+
+    # -- signing ---------------------------------------------------------
+
+    def _payload(self) -> dict:
+        out = asdict(self)
+        out.pop("signature")
+        return out
+
+    def _digest(self) -> str:
+        return hashlib.sha256(
+            _SIGNING_TAG + _canonical(self._payload())
+        ).hexdigest()
+
+    def sign(self) -> "ReductionCertificate":
+        self.signature = self._digest()
+        return self
+
+    def signature_valid(self) -> bool:
+        return bool(self.signature) and self.signature == self._digest()
+
+    # -- (de)serialisation ----------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReductionCertificate":
+        if not isinstance(data, dict):
+            raise ReproError("certificate is not a JSON object")
+        try:
+            return cls(
+                fingerprint=data["fingerprint"],
+                config=data["config"],
+                variant=data["variant"],
+                group=data["group"],
+                independence=data["independence"],
+                selftest=data.get("selftest", {}),
+                schema_version=data["schema_version"],
+                signature=data.get("signature", ""),
+            )
+        except KeyError as missing:
+            raise ReproError(
+                f"certificate is missing required field {missing}"
+            ) from None
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+def load(path) -> ReductionCertificate:
+    """Read a certificate file (malformation raises ``ReproError``)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read certificate {path}: {exc}") from exc
+    return ReductionCertificate.from_dict(data)
+
+
+def issue(
+    config: Config,
+    variant: ProtocolVariant,
+    *,
+    group,
+    independence: dict,
+    selftest: dict,
+) -> ReductionCertificate:
+    """Build and sign a certificate (the certifier's final step)."""
+    return ReductionCertificate(
+        fingerprint=spec_fingerprint(config, variant),
+        config=_config_dict(config),
+        variant=_variant_dict(variant),
+        group=[perm.as_dict() for perm in group],
+        independence=independence,
+        selftest=selftest,
+    ).sign()
+
+
+def validate(
+    cert: ReductionCertificate,
+    config: Config,
+    variant: ProtocolVariant,
+) -> list[Finding]:
+    """Every reason ``cert`` must not be trusted for this spec.
+
+    Empty list = valid. Consumers call this before reducing anything
+    and refuse (:class:`~repro.errors.ReproError`) on any finding.
+    """
+    # runtime imports: symmetry/independence import this module
+    from repro.staticcheck.independence import ample_table
+    from repro.staticcheck.symmetry import is_admissible
+
+    findings: list[Finding] = []
+    if cert.schema_version != CERT_SCHEMA_VERSION:
+        findings.append(
+            Finding(
+                "JKL305",
+                Severity.ERROR,
+                "certificate/schema",
+                f"unsupported certificate schema "
+                f"{cert.schema_version!r} (this build reads "
+                f"{CERT_SCHEMA_VERSION})",
+            )
+        )
+        return findings
+    if not cert.signature_valid():
+        findings.append(
+            Finding(
+                "JKL304",
+                Severity.ERROR,
+                "certificate/signature",
+                "signature does not match the payload: the certificate "
+                "was tampered with or corrupted after issuance",
+            )
+        )
+        return findings
+    expected = spec_fingerprint(config, variant)
+    if cert.fingerprint != expected:
+        findings.append(
+            Finding(
+                "JKL303",
+                Severity.ERROR,
+                "certificate/fingerprint",
+                f"certificate is keyed to {cert.fingerprint[:12]}… but "
+                f"the current spec fingerprints to {expected[:12]}…: "
+                "stale certificate, re-run `repro lint --certify`",
+            )
+        )
+        return findings
+    if not cert.group:
+        findings.append(
+            Finding(
+                "JKL305",
+                Severity.ERROR,
+                "certificate/group",
+                "certificate carries an empty permutation group: there "
+                "is nothing to reduce by",
+            )
+        )
+    for entry in cert.group:
+        pid_map = entry.get("pid_map") if isinstance(entry, dict) else None
+        tid_map = entry.get("tid_map") if isinstance(entry, dict) else None
+        if (
+            pid_map is None
+            or tid_map is None
+            or not is_admissible(config, pid_map, tid_map)
+        ):
+            findings.append(
+                Finding(
+                    "JKL305",
+                    Severity.ERROR,
+                    "certificate/group",
+                    f"group entry {entry!r} is not an admissible "
+                    "processor/thread permutation for "
+                    f"{config.describe()}",
+                )
+            )
+            break
+    if cert.independence != ample_table(config):
+        findings.append(
+            Finding(
+                "JKL305",
+                Severity.ERROR,
+                "certificate/independence",
+                "independence table does not match what the current "
+                "analysis derives for this configuration: re-run "
+                "`repro lint --certify`",
+            )
+        )
+    return findings

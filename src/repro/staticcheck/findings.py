@@ -6,7 +6,8 @@ are added. The numbering is grouped by analysis:
 
 * ``JKL0xx`` — lockset dataflow over the protocol phase graph;
 * ``JKL1xx`` — process-algebra specification lints;
-* ``JKL2xx`` — label cross-checks between the model and formulas.
+* ``JKL2xx`` — label cross-checks between the model and formulas;
+* ``JKL3xx`` — reduction certification (symmetry/independence).
 """
 
 from __future__ import annotations
@@ -15,6 +16,12 @@ import json
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Iterable
+
+#: version of the JSON report layout (``repro lint --json``). Bump on
+#: any structural change so CI artifact consumers can gate on it.
+#: 2: added ``schema_version``/``fingerprint``, deterministic finding
+#: order (rule, then location).
+LINT_SCHEMA_VERSION = 2
 
 
 class Severity(IntEnum):
@@ -47,8 +54,20 @@ RULES: dict[str, str] = {
     "JKL103": "a sum variable is never used by its body",
     "JKL104": "a communication pair references an action no process performs",
     "JKL105": "an encapsulation/hiding set names an action never performed",
+    "JKL106": "a communication pair is never forced: no action of the pair "
+    "appears in any encapsulation set",
     "JKL201": "a formula references a label the model can never emit",
     "JKL202": "a label prefix in a formula matches nothing the model emits",
+    "JKL301": "the model/spec is not index-generic: no nontrivial "
+    "processor/thread permutation applies, or a guard special-cases an index",
+    "JKL302": "the bounded equivariance self-test found a state where "
+    "permuting and stepping do not commute",
+    "JKL303": "a reduction certificate's fingerprint does not match the "
+    "current specification (stale certificate)",
+    "JKL304": "a reduction certificate's signature is invalid "
+    "(tampered or corrupt)",
+    "JKL305": "a reduction certificate is malformed or its schema/group "
+    "is unsupported for this configuration",
 }
 
 
@@ -95,6 +114,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     #: rule ids dropped before reporting (from ``--suppress``)
     suppressed: tuple[str, ...] = ()
+    #: fingerprint of the specification the findings are about (see
+    #: :func:`repro.staticcheck.certificates.spec_fingerprint`); the key
+    #: reduction certificates are issued under
+    fingerprint: str | None = None
 
     def extend(self, more: Iterable[Finding]) -> None:
         self.findings.extend(
@@ -126,8 +149,15 @@ class LintReport:
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
+        # deterministic finding order (rule, then location) so CI
+        # artifact diffs are stable across runs and pass ordering
+        ordered = sorted(
+            self.findings, key=lambda f: (f.rule, f.location, f.message)
+        )
         return {
-            "findings": [f.as_dict() for f in self.findings],
+            "schema_version": LINT_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "findings": [f.as_dict() for f in ordered],
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
             "suppressed": list(self.suppressed),

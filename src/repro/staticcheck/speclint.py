@@ -17,7 +17,11 @@ synchronise because one side's action name is misspelt:
 * **JKL104** — a communication pair names an action no process in the
   system ever performs (the synchronisation can never fire);
 * **JKL105** — an encapsulation/hiding set names an action never
-  performed (harmless at runtime, but almost always a typo).
+  performed (harmless at runtime, but almost always a typo);
+* **JKL106** — a communication pair whose action names appear in no
+  encapsulation set: the synchronisation is declared but never
+  *forced*, so both sides can still fire unsynchronised (the
+  misspelt-sync cousin of JKL104/JKL105).
 
 Guard satisfiability is decided by enumeration over the finite sorts of
 enclosing ``sum`` binders (the only place this algebra attaches sorts to
@@ -232,12 +236,18 @@ def lint_system(system, name: str = "<system>") -> list[Finding]:
     findings = lint_spec(spec, name)
     _walk_guards(init, {}, f"{name}/<init>", findings)
     performed = _actions_performed(init, spec, set())
+    encap_names: set[str] = set()
+    for kind, names in _sync_sets_in(init):
+        if kind == "encap":
+            encap_names |= set(names)
     comm_results: set[str] = set()
     for comm in _comms_in(init):
         for pair, result in comm.table:
             comm_results.add(result)
+            missing = False
             for action in sorted(pair):
                 if action not in performed:
+                    missing = True
                     findings.append(
                         Finding(
                             "JKL104",
@@ -249,6 +259,22 @@ def lint_system(system, name: str = "<system>") -> list[Finding]:
                             "synchronisation can never fire",
                         )
                     )
+            if not missing and not (set(pair) & encap_names):
+                # the pair can fire, but nothing forces it to: neither
+                # operand is encapsulated, so each side can still step
+                # alone and the composed behaviour silently loses the
+                # synchronisation
+                findings.append(
+                    Finding(
+                        "JKL106",
+                        Severity.WARNING,
+                        f"{name}/<comm>",
+                        f"communication {sorted(pair)} -> {result} is "
+                        "never forced: no action of the pair appears in "
+                        "any encapsulation set, so both sides can fire "
+                        "unsynchronised",
+                    )
+                )
     for kind, names in _sync_sets_in(init):
         for action in sorted(names):
             if action not in performed and action not in comm_results:

@@ -155,3 +155,31 @@ def test_hide_set_is_checked_and_rename_respected():
     findings = lint_system(SpecSystem(spec, init), "toy")
     assert _rules(findings) == ["JKL105"]
     assert "'c'" in findings[0].message
+
+
+# -- JKL106: declared but never forced communications ------------------------
+
+
+def test_comm_pair_never_forced_fires_jkl106():
+    from repro.staticcheck import Severity
+
+    comm = Comm(("s_msg", "r_msg", "c_msg"))
+    findings = lint_system(_toy_system(comm, []), "toy")
+    assert _rules(findings) == ["JKL106"]
+    (finding,) = findings
+    assert finding.severity == Severity.WARNING
+    assert "never forced" in finding.message
+
+
+def test_encapsulating_only_the_result_still_fires_jkl106():
+    # blocking c_msg does not stop s_msg/r_msg from stepping alone,
+    # so the synchronisation is still not forced
+    comm = Comm(("s_msg", "r_msg", "c_msg"))
+    findings = lint_system(_toy_system(comm, ["c_msg"]), "toy")
+    assert "JKL106" in _rules(findings)
+
+
+def test_encapsulating_one_operand_silences_jkl106():
+    comm = Comm(("s_msg", "r_msg", "c_msg"))
+    findings = lint_system(_toy_system(comm, ["s_msg"]), "toy")
+    assert "JKL106" not in _rules(findings)

@@ -244,6 +244,112 @@ def test_lint_is_fast_and_explores_nothing(monkeypatch):
     assert time.perf_counter() - start < 5.0
 
 
+def test_lint_json_carries_schema_version_and_fingerprint(tmp_path):
+    import json
+
+    path = tmp_path / "lint.json"
+    assert main(["lint", "--json", "--out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["schema_version"] >= 2
+    assert len(data["fingerprint"]) == 64
+
+
+# -- repro lint --certify / --reduce ----------------------------------------
+
+
+def test_lint_certify_writes_certificate(tmp_path, capsys):
+    import json
+
+    cert_path = tmp_path / "CERT.json"
+    code = main(["lint", "--certify", "--cert-out", str(cert_path)])
+    assert code == 0
+    data = json.loads(cert_path.read_text())
+    assert data["schema_version"] == 1
+    assert data["group"]
+    assert data["signature"]
+    assert str(cert_path) in capsys.readouterr().out
+
+
+def test_lint_certify_failure_exits_one_without_certificate(
+    tmp_path, monkeypatch
+):
+    """The exit-code contract: certification failure is exit 1 with a
+    machine-readable JKL30x reason in the JSON report, and no
+    certificate file is written."""
+    import json
+
+    from repro import cli as cli_mod
+    from repro.staticcheck.findings import Finding, Severity
+
+    def refused(_config, _variant, **_kw):
+        return None, [
+            Finding("JKL301", Severity.ERROR, "model/group",
+                    "no nontrivial admissible permutation")
+        ]
+
+    import repro.staticcheck.symmetry as symmetry_mod
+
+    monkeypatch.setattr(symmetry_mod, "certify", refused)
+    cert_path = tmp_path / "CERT.json"
+    out_path = tmp_path / "lint.json"
+    code = cli_mod.main([
+        "lint", "--certify", "--json",
+        "--cert-out", str(cert_path), "--out", str(out_path),
+    ])
+    assert code == 1
+    assert not cert_path.exists()
+    data = json.loads(out_path.read_text())
+    assert data["exit_code"] == 1
+    assert [f["rule"] for f in data["findings"]] == ["JKL301"]
+
+
+def test_check_reduce_roundtrip(tmp_path, capsys):
+    cert_path = tmp_path / "CERT.json"
+    assert main(["lint", "--certify", "--cert-out", str(cert_path)]) == 0
+    capsys.readouterr()
+    code = main(["check", "--reduce", str(cert_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "HOLDS" in out and "VIOLATED" not in out
+
+
+def test_check_reduce_refuses_stale_certificate(tmp_path, capsys):
+    cert_path = tmp_path / "CERT.json"
+    # certified for config 1, then used on config 2: JKL303, exit 2
+    assert main(["lint", "--certify", "--cert-out", str(cert_path)]) == 0
+    capsys.readouterr()
+    code = main(["check", "--config", "2", "--reduce", str(cert_path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "refusing to reduce" in err
+    assert "JKL303" in err
+
+
+def test_check_reduce_unreadable_certificate_exit_2(tmp_path, capsys):
+    bad = tmp_path / "nope.json"
+    code = main(["check", "--reduce", str(bad)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+
+
+def test_explore_reduce_shrinks_the_lts(tmp_path, capsys):
+    cert_path = tmp_path / "CERT.json"
+    assert main(["lint", "--certify", "--cert-out", str(cert_path)]) == 0
+    capsys.readouterr()
+    assert main(["explore"]) == 0
+    unreduced = capsys.readouterr().out
+    assert "288" in unreduced
+    # the plain LTS keeps real states (ample pruning only) so it stays
+    # sound for per-thread formulas ...
+    assert main(["explore", "--reduce", str(cert_path)]) == 0
+    assert "258" in capsys.readouterr().out
+    # ... while the probe LTS (the requirement-3 view) additionally
+    # takes the symmetry quotient
+    assert main(["explore", "--probes", "--reduce", str(cert_path)]) == 0
+    assert "191" in capsys.readouterr().out
+
+
 # -- error handling: ReproError -> message on stderr, exit code 2 -----------
 
 
