@@ -36,8 +36,17 @@ on small tuples rather than a field-by-field walk.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import ModelError
 from repro.jackal.model import VIOLATION, JackalModel, Msg
+
+#: fine fields :meth:`StateCodec.projector` can retract — the
+#: write-only read-state bookkeeping family the cone-of-influence
+#: analysis (:mod:`repro.staticcheck.slicing`) can prove sliceable
+PROJECTABLE_FIELDS = frozenset(
+    ("copy.rstate", "rq.rstate", "rqa.rstate", "mig.rstate")
+)
 
 
 def _width(max_value: int) -> int:
@@ -117,6 +126,8 @@ class StateCodec:
         self._dec_rmsg: dict = {0: 0}
         self._dec_locks: dict = {}
         self._dec_migrow: dict = {}
+        # slice projection closures, keyed by the dropped-field set
+        self._projectors: dict = {}
 
     # -- packing helpers (cache-miss path; results are memoised) --------
 
@@ -244,6 +255,13 @@ class StateCodec:
                 out.append((wl, rstate))
         return tuple(reversed(out))
 
+    # projector closures are rebuilt on demand; dropping them keeps the
+    # codec picklable (distributed workers ship models, not caches)
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_projectors"] = {}
+        return state
+
     # -- public API -----------------------------------------------------
 
     def encode(self, state) -> int:
@@ -363,6 +381,96 @@ class StateCodec:
     def encode_canonical(self, state, perms) -> int:
         """The canonical (orbit-minimal) packed key of ``state``."""
         return self.canonicalize(state, perms)[0]
+
+    def projector(self, dropped) -> Callable:
+        """A memoised projection retracting ``dropped`` fine fields.
+
+        ``dropped`` must be a subset of :data:`PROJECTABLE_FIELDS`
+        (the fields a certificate's slice section can license); the
+        returned closure zeroes those fields at every index, returns
+        the *original* object when nothing changes (so identity hits
+        are cheap to detect), and passes VIOLATION through. Zeroing
+        is a retraction — ``0`` is in every field's domain — and
+        commutes with the admissible permutations, which never touch
+        ``rstate`` payloads.
+        """
+        dropped = frozenset(dropped)
+        cached = self._projectors.get(dropped)
+        if cached is not None:
+            return cached
+        unsupported = dropped - PROJECTABLE_FIELDS
+        if unsupported:
+            raise ModelError(
+                f"cannot project fields {sorted(unsupported)}: only "
+                f"{sorted(PROJECTABLE_FIELDS)} are sliceable"
+            )
+        drop_copy = "copy.rstate" in dropped
+        drop_rq = "rq.rstate" in dropped
+        drop_rqa = "rqa.rstate" in dropped
+        drop_mig = "mig.rstate" in dropped
+        copy_memo: dict = {}
+        mig_memo: dict = {}
+
+        def proj_copyrow(row):
+            v = copy_memo.get(row)
+            if v is None:
+                v = copy_memo[row] = tuple(
+                    r if r[1] == 0 else (r[0], 0, r[2], r[3]) for r in row
+                )
+            return v
+
+        def proj_rmsg(m):
+            if m == 0 or m[5] == 0:
+                return m
+            return m[:5] + (0, m[6])
+
+        def proj_migrow(row):
+            v = mig_memo.get(row)
+            if v is None:
+                v = mig_memo[row] = tuple(
+                    m if m == 0 or m[1] == 0 else (m[0], 0) for m in row
+                )
+            return v
+
+        def project(state):
+            if len(state) != 8:
+                return state
+            threads, copies, hq, rq, hqa, rqa, locks, migs = state
+            ncopies = (
+                tuple(proj_copyrow(row) for row in copies)
+                if drop_copy
+                else copies
+            )
+            nrq = tuple(proj_rmsg(m) for m in rq) if drop_rq else rq
+            nrqa = tuple(proj_rmsg(m) for m in rqa) if drop_rqa else rqa
+            nmigs = (
+                tuple(proj_migrow(row) for row in migs)
+                if drop_mig
+                else migs
+            )
+            ns = (threads, ncopies, hq, nrq, hqa, nrqa, locks, nmigs)
+            return state if ns == state else ns
+
+        self._projectors[dropped] = project
+        return project
+
+    def project(self, state, dropped):
+        """``state`` with the ``dropped`` fine fields retracted."""
+        return self.projector(dropped)(state)
+
+    def encode_sliced(self, state, dropped, perms=()) -> int:
+        """The packed key of the sliced (projected) state.
+
+        Composes with symmetry reduction: with ``perms`` the key is
+        the orbit-minimal encoding of the projection — projection and
+        permutation commute, so the composite is well defined and
+        identifies exactly the states the certificate's slice and
+        group together.
+        """
+        projected = self.projector(dropped)(state)
+        if perms:
+            return self.encode_canonical(projected, perms)
+        return self.encode(projected)
 
     def encode_bytes(self, state) -> bytes:
         """The packed key as a fixed-width big-endian byte string."""

@@ -124,22 +124,31 @@ def build_lts(
     is unaffected.
 
     With a reduction ``certificate`` the sweep runs on the certified
-    reduced view (:mod:`repro.lts.certreduce`). Which reduction applies
-    depends on what the LTS is for: the probe LTS (Requirement 3)
-    checks orbit-invariant formulas and takes the full symmetry
-    quotient plus ample pruning; the plain LTS also carries the
-    per-thread Requirement-4 inevitability formulas (``write(t0)`` …),
-    which are *not* invariant under the quotient's frame changes — it
-    gets ample pruning only. Verdicts are preserved either way; traces
-    extracted from a reduced LTS are representatives up to the
-    certified commutations, not necessarily the shortest concrete run.
+    reduced view (:mod:`repro.lts.certreduce`): ample pruning, the
+    certified field slice, and — when the certificate's ``formulas``
+    section licenses it — the full symmetry quotient. The probe LTS
+    (Requirement 3) always quotients (its formulas are index-free);
+    the plain LTS also carries the per-thread Requirement-4
+    inevitability formulas, which individually are *not*
+    quotient-invariant — a schema-v3 certificate with
+    ``plain_quotient: "full"`` proves their families orbit-closed, so
+    the driver checks their symmetrized orbit conjunctions on the full
+    quotient instead of falling back to ample pruning only. Verdicts
+    are preserved either way; traces extracted from a reduced LTS are
+    representatives up to the certified commutations and renamings,
+    not necessarily the shortest concrete run.
     """
     model = build_model(config, variant, probes=probes)
     system = model
     if certificate is not None:
         from repro.lts.certreduce import ReducedSystem
+        from repro.staticcheck.formulasym import licenses_full_quotient
 
-        system = ReducedSystem(model, certificate, canonical=probes)
+        system = ReducedSystem(
+            model,
+            certificate,
+            canonical=probes or licenses_full_quotient(certificate),
+        )
     lts = explore_fast(system, max_states=max_states, keep_states=keep_states)
     return model, lts
 
@@ -412,32 +421,64 @@ def check_requirement_4(
     prefix plus an unproductive cycle — the "request bounced around the
     network forever" the paper's Requirement 4 forbids, rendered as a
     concrete run (the flush storm of Error 2 shows up this way).
+
+    With a certificate whose ``formulas`` section licenses the full
+    quotient, the sweep itself takes the full symmetry quotient (that
+    is where the state-space win is), and the per-thread formulas are
+    evaluated on its exact *group-unfolding*
+    (:func:`repro.lts.certreduce.unfold_full_quotient`): quotient edges
+    carry their winning permutations, so the unfolding reconstructs the
+    concrete per-thread frames the quotient LTS itself merges away —
+    per-thread labels like ``write(t0)`` are not decidable on the
+    quotient directly, even via their group-invariant orbit
+    conjunctions. Failure attribution is then per certified thread
+    orbit (``write({t0,t1})``).
     """
     fair = config.rounds is None
+    quotient = False
+    if certificate is not None:
+        from repro.staticcheck.formulasym import licenses_full_quotient
+
+        quotient = licenses_full_quotient(certificate)
     if lts is None:
         _model, lts = build_lts(
             config, variant, probes=False, max_states=max_states,
             certificate=certificate,
         )
-    failures = []
-    for tid in range(config.n_threads):
-        if not holds(lts, formula_4_write(tid, fair=fair)):
-            failures.append(f"write(t{tid})")
-        if not holds(lts, formula_4_flush(tid, fair=fair)):
-            failures.append(f"flush(t{tid})")
+    if quotient:
+        from repro.lts.certreduce import unfold_full_quotient
+        from repro.staticcheck.formulasym import requirement4_orbit_formulas
+
+        checks = requirement4_orbit_formulas(config, fair=fair)
+        eval_lts = unfold_full_quotient(
+            build_model(config, variant, probes=False), certificate
+        )
+    else:
+        checks = []
+        for tid in range(config.n_threads):
+            checks.append(
+                (f"write(t{tid})", formula_4_write(tid, fair=fair))
+            )
+            checks.append(
+                (f"flush(t{tid})", formula_4_flush(tid, fair=fair))
+            )
+        eval_lts = lts
+    failures = [name for name, f in checks if not holds(eval_lts, f)]
     trace = None
     if failures:
         from repro.lts.cycles import find_lasso_avoiding
 
         progress = [
             lab
-            for lab in lts.labels
+            for lab in eval_lts.labels
             if lab.startswith(("writeover", "flushover"))
         ]
-        lasso = find_lasso_avoiding(lts, progress)
+        lasso = find_lasso_avoiding(eval_lts, progress)
         if lasso is not None:
             trace = Trace(lasso.prefix.labels + lasso.cycle.labels)
     mode = "fair" if fair else "exact"
+    if quotient:
+        mode += ", full quotient"
     return RequirementReport(
         requirement=f"4 (liveness, {mode})",
         holds=not failures,
@@ -491,5 +532,7 @@ def check_all_requirements(
         if "3.2" not in skip:
             out["3.2"] = check_requirement_3_2(config, variant, lts=probe_lts)
     if "4" not in skip:
-        out["4"] = check_requirement_4(config, variant, lts=plain_lts)
+        out["4"] = check_requirement_4(
+            config, variant, lts=plain_lts, certificate=certificate
+        )
     return out

@@ -29,8 +29,11 @@ The resulting report is a plain dict so the CLI can dump it as
     ran.
 ``reduction``
     present when a reduction certificate was supplied: unreduced vs
-    reduced visited counts, the reduction ``factor``, and the
-    canonicalization/pruning counters of one reduced sweep.
+    reduced visited counts, the reduction ``factor``, the same sweep
+    with the certified field slice disabled
+    (``states_canonical_only``/``factor_canonical_only`` — what the
+    cone-of-influence projection buys over canonical+ample alone), and
+    the canonicalization/pruning/slice counters of one reduced sweep.
 """
 
 from __future__ import annotations
@@ -186,12 +189,22 @@ def bench_explore(
         )
 
     if certificate is not None:
+        from repro.lts.certreduce import ReducedSystem
+
         # one unreduced reference pass + one clean reduced pass (the
         # timed wrapper's counters accumulated across repeats) so the
         # reported factor and counters describe a single sweep each
         unreduced = explore_fast(base_system)
-        hits0 = (system.canonical_hits, system.ample_prunes)
+        hits0 = (
+            system.canonical_hits, system.ample_prunes, system.slice_hits
+        )
         reduced = explore_fast(system)
+        # same reduction minus the slice, to isolate what the certified
+        # cone-of-influence projection buys over canonical+ample alone
+        unsliced_system = ReducedSystem(
+            base_system, certificate, slice_fields=(), _validated=True
+        )
+        unsliced = explore_fast(unsliced_system)
         report["reduction"] = {
             "unreduced_states": unreduced.n_states,
             "unreduced_transitions": unreduced.n_transitions,
@@ -201,8 +214,14 @@ def bench_explore(
                 unreduced.n_states / reduced.n_states
                 if reduced.n_states else 0.0
             ),
+            "states_canonical_only": unsliced.n_states,
+            "factor_canonical_only": (
+                unreduced.n_states / unsliced.n_states
+                if unsliced.n_states else 0.0
+            ),
             "canonical_hits": system.canonical_hits - hits0[0],
             "ample_prunes": system.ample_prunes - hits0[1],
+            "slice_hits": system.slice_hits - hits0[2],
         }
 
     # one extra instrumented engine pass feeds the phase breakdown and
@@ -258,8 +277,16 @@ def format_bench(report: dict) -> str:
             f"reduction: {red['unreduced_states']} -> {red['states']} "
             f"states (factor {red['factor']:.2f}x, "
             f"canonical_hits={red['canonical_hits']}, "
-            f"ample_prunes={red['ample_prunes']})"
+            f"ample_prunes={red['ample_prunes']}, "
+            f"slice_hits={red.get('slice_hits', 0)})"
         )
+        if "states_canonical_only" in red:
+            lines.append(
+                f"  without slice: {red['states_canonical_only']} states "
+                f"(factor {red['factor_canonical_only']:.2f}x) — slicing "
+                f"saves {red['states_canonical_only'] - red['states']} "
+                "states"
+            )
     dist = report["backends"].get("distributed")
     if dist:
         lines.append(

@@ -107,7 +107,7 @@ def explore_fast(
     # reduction counters are cumulative on the (possibly reused)
     # wrapper, so metrics report this sweep's delta
     red0 = (
-        (system.canonical_hits, system.ample_prunes)
+        (system.canonical_hits, system.ample_prunes, system.slice_hits)
         if hasattr(system, "canonical_hits")
         else None
     )
@@ -194,6 +194,15 @@ def explore_fast(
 
     def _emit_end(outcome: str) -> None:
         backend = "engine-packed" if encode is not None else "engine"
+        reduction = (
+            {
+                "canonical_hits": system.canonical_hits - red0[0],
+                "ample_prunes": system.ample_prunes - red0[1],
+                "slice_hits": system.slice_hits - red0[2],
+            }
+            if red0 is not None
+            else None
+        )
         obs.tracer.emit(
             "sweep_end", backend=backend, outcome=outcome,
             states=stats.states, transitions=stats.transitions,
@@ -201,6 +210,7 @@ def explore_fast(
             states_per_second=round(stats.states_per_second(), 1),
             depth=stats.depth, max_frontier=stats.max_frontier,
             memo_hits=memo_hits[0] if memo is not None else None,
+            reduction=reduction,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend=backend, outcome=outcome).inc()
@@ -220,6 +230,9 @@ def explore_fast(
             )
             m.counter("repro_reduce_ample_prunes_total").inc(
                 system.ample_prunes - red0[1]
+            )
+            m.counter("repro_reduce_slice_hits_total").inc(
+                system.slice_hits - red0[2]
             )
         # visited-probe hits: probes that found an already-numbered
         # state (every transition probes once; discoveries miss)

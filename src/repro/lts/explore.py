@@ -116,7 +116,7 @@ def explore(
     # reduction counters are cumulative on the (possibly reused)
     # wrapper, so metrics report this sweep's delta
     red0 = (
-        (system.canonical_hits, system.ample_prunes)
+        (system.canonical_hits, system.ample_prunes, system.slice_hits)
         if hasattr(system, "canonical_hits")
         else None
     )
@@ -163,12 +163,22 @@ def explore(
         stats.level_sizes = level_sizes
 
     def _emit_end(outcome: str) -> None:
+        reduction = (
+            {
+                "canonical_hits": system.canonical_hits - red0[0],
+                "ample_prunes": system.ample_prunes - red0[1],
+                "slice_hits": system.slice_hits - red0[2],
+            }
+            if red0 is not None
+            else None
+        )
         obs.tracer.emit(
             "sweep_end", backend="serial", outcome=outcome,
             states=stats.states, transitions=stats.transitions,
             seconds=round(stats.seconds, 6),
             states_per_second=round(stats.states_per_second(), 1),
             depth=stats.depth, max_frontier=stats.max_frontier,
+            reduction=reduction,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend="serial",
@@ -187,6 +197,9 @@ def explore(
             )
             m.counter("repro_reduce_ample_prunes_total").inc(
                 system.ample_prunes - red0[1]
+            )
+            m.counter("repro_reduce_slice_hits_total").inc(
+                system.slice_hits - red0[2]
             )
 
     while frontier:

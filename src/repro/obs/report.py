@@ -158,6 +158,14 @@ def _render_sweep(i: int, events: list[dict]) -> list[str]:
                 else ""
             )
         )
+        red = end.get("reduction")
+        if red:
+            lines.append(
+                "  reduction: "
+                f"canonical_hits={red.get('canonical_hits', 0):,} "
+                f"ample_prunes={red.get('ample_prunes', 0):,} "
+                f"slice_hits={red.get('slice_hits', 0):,}"
+            )
         if end.get("worker_deaths"):
             lines.append(
                 f"  recovery: worker_deaths={end['worker_deaths']} "

@@ -15,12 +15,29 @@ failure modes are the JKL303–JKL305 rules:
   cryptographic trust root — anyone with this source can re-sign);
 * **JKL305** — malformed: wrong schema version, an inadmissible
   permutation for the configuration, or an independence table that
-  does not match what the current analysis derives.
+  does not match what the current analysis derives;
+* **JKL404** — a schema-v3 section drifted: the ``formulas``
+  (symmetrization, :mod:`repro.staticcheck.formulasym`) or ``slices``
+  (cone-of-influence, :mod:`repro.staticcheck.slicing`) section no
+  longer matches what re-deriving the analysis produces.
+
+Schema v3 extends the certificate with those two formula-directed
+sections: ``formulas`` records per-requirement orbit structure and
+whether the plain LTS may take the full symmetry quotient;
+``slices`` records the per-requirement field slices and the common
+dropped set the backends project by. v1/v2 certificates are refused
+outright (JKL305) — the backends must never reduce on a certificate
+that predates the formula-side obligations.
 
 The fingerprint covers the configuration, the variant flags, the
 model's label vocabulary, the packed-state width, and a digest of the
-model/spec/codec sources: any change that could alter the transition
-relation re-keys the certificate and stales every old one (JKL303).
+model/spec/codec/requirements sources: any change that could alter the
+transition relation *or the certified formulas* re-keys the
+certificate and stales every old one (JKL303).
+
+Every refusal finding carries a machine-readable ``data`` payload
+(expected-vs-found values, digests, the spec fingerprint) so the lint
+JSON report is actionable without parsing messages.
 """
 
 from __future__ import annotations
@@ -28,16 +45,20 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+from collections.abc import Iterable
 from dataclasses import asdict, dataclass, field, replace
+from typing import Any
 
 from repro.errors import ReproError
 from repro.jackal.params import Config, ProtocolVariant
 from repro.staticcheck.findings import Finding, Severity
 
-#: version of the certificate JSON layout; validation rejects others
-CERT_SCHEMA_VERSION = 1
+#: version of the certificate JSON layout; validation rejects others.
+#: 3: ``formulas`` (symmetrization) and ``slices`` (cone-of-influence)
+#: sections, requirements sources in the fingerprint.
+CERT_SCHEMA_VERSION = 3
 
-_SIGNING_TAG = b"repro-reduction-certificate-v1:"
+_SIGNING_TAG = b"repro-reduction-certificate-v3:"
 
 
 def _config_dict(config: Config) -> dict:
@@ -58,6 +79,13 @@ def _canonical(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
+def section_digest(section: dict) -> str:
+    """Short sha256 of a certificate section's canonical JSON — the
+    expected-vs-found value refusal findings carry (whole tables are
+    too large for a diagnostic payload)."""
+    return hashlib.sha256(_canonical(section)).hexdigest()[:16]
+
+
 def spec_fingerprint(config: Config, variant: ProtocolVariant) -> str:
     """The sha256 key a certificate for this spec is issued under.
 
@@ -67,12 +95,16 @@ def spec_fingerprint(config: Config, variant: ProtocolVariant) -> str:
     from repro.jackal import codec as codec_mod
     from repro.jackal import model as model_mod
     from repro.jackal import mucrl_spec as spec_mod
+    from repro.jackal import requirements as req_mod
     from repro.jackal.model import JackalModel
     from repro.staticcheck.labelcheck import model_labels
 
     model = JackalModel(replace(config, with_probes=True), variant)
     sources = hashlib.sha256()
-    for mod in (model_mod, codec_mod, spec_mod):
+    # requirements are fingerprinted too: v3 certificates certify the
+    # formulas themselves (symmetrization licenses the full quotient),
+    # so editing a requirement must stale every certificate
+    for mod in (model_mod, codec_mod, spec_mod, req_mod):
         sources.update(inspect.getsource(mod).encode())
     payload = {
         "config": _config_dict(config),
@@ -95,6 +127,10 @@ class ReductionCertificate:
     group: list = field(default_factory=list)
     #: per-label footprint table (see ``independence.ample_table``)
     independence: dict = field(default_factory=dict)
+    #: formula symmetrization section (``formulasym.formulas_section``)
+    formulas: dict = field(default_factory=dict)
+    #: cone-of-influence slice section (``slicing.slices_section``)
+    slices: dict = field(default_factory=dict)
     #: how hard the equivariance self-test looked before signing
     selftest: dict = field(default_factory=dict)
     schema_version: int = CERT_SCHEMA_VERSION
@@ -135,6 +171,11 @@ class ReductionCertificate:
                 variant=data["variant"],
                 group=data["group"],
                 independence=data["independence"],
+                # absent on pre-v3 certificates: let the schema gate
+                # (JKL305) and section re-derivation (JKL404) refuse
+                # with findings instead of failing the parse
+                formulas=data.get("formulas", {}),
+                slices=data.get("slices", {}),
                 selftest=data.get("selftest", {}),
                 schema_version=data["schema_version"],
                 signature=data.get("signature", ""),
@@ -144,13 +185,13 @@ class ReductionCertificate:
                 f"certificate is missing required field {missing}"
             ) from None
 
-    def save(self, path) -> None:
+    def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json())
             fh.write("\n")
 
 
-def load(path) -> ReductionCertificate:
+def load(path: str) -> ReductionCertificate:
     """Read a certificate file (malformation raises ``ReproError``)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -164,8 +205,10 @@ def issue(
     config: Config,
     variant: ProtocolVariant,
     *,
-    group,
+    group: Iterable[Any],
     independence: dict,
+    formulas: dict,
+    slices: dict,
     selftest: dict,
 ) -> ReductionCertificate:
     """Build and sign a certificate (the certifier's final step)."""
@@ -175,6 +218,8 @@ def issue(
         variant=_variant_dict(variant),
         group=[perm.as_dict() for perm in group],
         independence=independence,
+        formulas=formulas,
+        slices=slices,
         selftest=selftest,
     ).sign()
 
@@ -190,7 +235,9 @@ def validate(
     and refuse (:class:`~repro.errors.ReproError`) on any finding.
     """
     # runtime imports: symmetry/independence import this module
+    from repro.staticcheck.formulasym import formulas_section
     from repro.staticcheck.independence import ample_table
+    from repro.staticcheck.slicing import slices_section
     from repro.staticcheck.symmetry import is_admissible
 
     findings: list[Finding] = []
@@ -203,6 +250,11 @@ def validate(
                 f"unsupported certificate schema "
                 f"{cert.schema_version!r} (this build reads "
                 f"{CERT_SCHEMA_VERSION})",
+                data={
+                    "fingerprint": cert.fingerprint,
+                    "expected": CERT_SCHEMA_VERSION,
+                    "found": cert.schema_version,
+                },
             )
         )
         return findings
@@ -214,6 +266,11 @@ def validate(
                 "certificate/signature",
                 "signature does not match the payload: the certificate "
                 "was tampered with or corrupted after issuance",
+                data={
+                    "fingerprint": cert.fingerprint,
+                    "expected": cert._digest(),
+                    "found": cert.signature,
+                },
             )
         )
         return findings
@@ -227,6 +284,7 @@ def validate(
                 f"certificate is keyed to {cert.fingerprint[:12]}… but "
                 f"the current spec fingerprints to {expected[:12]}…: "
                 "stale certificate, re-run `repro lint --certify`",
+                data={"expected": expected, "found": cert.fingerprint},
             )
         )
         return findings
@@ -238,6 +296,11 @@ def validate(
                 "certificate/group",
                 "certificate carries an empty permutation group: there "
                 "is nothing to reduce by",
+                data={
+                    "fingerprint": cert.fingerprint,
+                    "expected": ">= 1 admissible permutation",
+                    "found": 0,
+                },
             )
         )
     for entry in cert.group:
@@ -256,10 +319,16 @@ def validate(
                     f"group entry {entry!r} is not an admissible "
                     "processor/thread permutation for "
                     f"{config.describe()}",
+                    data={
+                        "fingerprint": cert.fingerprint,
+                        "permutation": entry if isinstance(entry, dict)
+                        else repr(entry),
+                    },
                 )
             )
             break
-    if cert.independence != ample_table(config):
+    derived_independence = ample_table(config)
+    if cert.independence != derived_independence:
         findings.append(
             Finding(
                 "JKL305",
@@ -268,6 +337,39 @@ def validate(
                 "independence table does not match what the current "
                 "analysis derives for this configuration: re-run "
                 "`repro lint --certify`",
+                data={
+                    "fingerprint": cert.fingerprint,
+                    "expected": section_digest(derived_independence),
+                    "found": section_digest(cert.independence),
+                },
             )
         )
+    # v3 sections: re-derive both formula-directed analyses and demand
+    # byte-for-byte agreement with what was signed (JKL404). Any
+    # refusal of the re-derivation itself (JKL401/403) also lands here.
+    derived_formulas, formula_findings = formulas_section(config)
+    findings.extend(formula_findings)
+    derived_slices, slice_findings = slices_section(config)
+    findings.extend(slice_findings)
+    for name, stored, derived in (
+        ("formulas", cert.formulas, derived_formulas),
+        ("slices", cert.slices, derived_slices),
+    ):
+        if derived is not None and stored != derived:
+            findings.append(
+                Finding(
+                    "JKL404",
+                    Severity.ERROR,
+                    f"certificate/{name}",
+                    f"{name} section does not match what the current "
+                    "analysis derives: the certified formula-directed "
+                    "reduction is stale, re-run `repro lint --certify`",
+                    data={
+                        "fingerprint": cert.fingerprint,
+                        "section": name,
+                        "expected": section_digest(derived),
+                        "found": section_digest(stored),
+                    },
+                )
+            )
     return findings

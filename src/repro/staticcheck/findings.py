@@ -7,7 +7,8 @@ are added. The numbering is grouped by analysis:
 * ``JKL0xx`` — lockset dataflow over the protocol phase graph;
 * ``JKL1xx`` — process-algebra specification lints;
 * ``JKL2xx`` — label cross-checks between the model and formulas;
-* ``JKL3xx`` — reduction certification (symmetry/independence).
+* ``JKL3xx`` — reduction certification (symmetry/independence);
+* ``JKL4xx`` — formula-directed reduction (symmetrization/slicing).
 """
 
 from __future__ import annotations
@@ -21,7 +22,9 @@ from typing import Iterable
 #: any structural change so CI artifact consumers can gate on it.
 #: 2: added ``schema_version``/``fingerprint``, deterministic finding
 #: order (rule, then location).
-LINT_SCHEMA_VERSION = 2
+#: 3: findings carry an optional machine-readable ``data`` object
+#: (expected-vs-found values, permutation maps, digests).
+LINT_SCHEMA_VERSION = 3
 
 
 class Severity(IntEnum):
@@ -68,6 +71,15 @@ RULES: dict[str, str] = {
     "(tampered or corrupt)",
     "JKL305": "a reduction certificate is malformed or its schema/group "
     "is unsupported for this configuration",
+    "JKL401": "a requirement formula is asymmetric under the certified "
+    "permutation group (no symmetrized orbit conjunction exists)",
+    "JKL402": "permuting a formula literal leaves the model's label "
+    "vocabulary (the symmetrized property would be vacuous)",
+    "JKL403": "a field slice is inconsistent: a guard observes a dropped "
+    "field, a dropped field flows into a kept one, or the congruence "
+    "self-test found a counterexample",
+    "JKL404": "a certificate's formulas/slices section is stale: "
+    "re-deriving the analysis disagrees with what was signed",
 }
 
 
@@ -87,24 +99,33 @@ class Finding:
         on in-memory objects, not files).
     message:
         Human-readable description of this concrete instance.
+    data:
+        Optional machine-readable payload (expected-vs-found values,
+        digests, permutation maps) for CI consumers of the JSON
+        report; ``None`` keeps the finding hashable-by-identity
+        semantics unchanged for rules that carry none.
     """
 
     rule: str
     severity: Severity
     location: str
     message: str
+    data: dict | None = None
 
     def render(self) -> str:
         """``JKL005 error  <location>: <message>``."""
         return f"{self.rule} {self.severity!s:<7} {self.location}: {self.message}"
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "rule": self.rule,
             "severity": str(self.severity),
             "location": self.location,
             "message": self.message,
         }
+        if self.data is not None:
+            out["data"] = self.data
+        return out
 
 
 @dataclass

@@ -68,8 +68,15 @@ VISIBLE_CLASSES = frozenset(
 
 _LABEL = re.compile(r"^([a-z0-9_]+)(?:\((.*)\))?$")
 
+#: a field slot — ``("thr", 1)``; the index is ``None`` for the rare
+#: thread-indexed atoms of a label that carries no thread argument
+Atom = tuple[str, "int | None"]
 
-def parse_label(label: str):
+#: ``(reads, writes)`` atom sets of one transition label
+Footprint = tuple[frozenset[Atom], frozenset[Atom]]
+
+
+def parse_label(label: str) -> tuple[str, list[int], list[int]]:
     """``(class, thread_args, processor_args)`` of a model label.
 
     ``signal(t1,p0)`` → ``("signal", [1], [0])``. Non-index arguments
@@ -90,7 +97,7 @@ def parse_label(label: str):
     return name, ts, ps
 
 
-def label_footprint(label: str, config: Config):
+def label_footprint(label: str, config: Config) -> Footprint:
     """``(reads, writes)`` atom sets of one concrete label.
 
     Conservative by construction: a superset footprint is always
@@ -101,10 +108,10 @@ def label_footprint(label: str, config: Config):
     t = ts[0] if ts else None
     tp = config.processor_of(t) if t is not None else None
 
-    def thr(i):
+    def thr(i: int | None) -> Atom:
         return ("thr", i)
 
-    def copy(i):
+    def copy(i: int | None) -> Atom:
         return ("copy", i)
 
     if name in ("write", "flush"):
@@ -242,7 +249,7 @@ def label_footprint(label: str, config: Config):
     return TOP, TOP
 
 
-def may_commute(fp_a, fp_b) -> bool:
+def may_commute(fp_a: Footprint, fp_b: Footprint) -> bool:
     """Whether two footprints prove their transitions independent:
     neither writes an atom the other reads or writes."""
     reads_a, writes_a = fp_a
@@ -263,7 +270,7 @@ def is_visible(label: str) -> bool:
     return parse_label(label)[0] in VISIBLE_CLASSES
 
 
-def _atom_str(atom) -> str:
+def _atom_str(atom: Atom) -> str:
     kind, idx = atom
     return "*" if kind == "*" else f"{kind}[{idx}]"
 
@@ -289,7 +296,7 @@ def ample_table(config: Config) -> dict:
         labels |= model_labels(
             JackalModel(replace(config, with_probes=True), variant)
         )
-    table = {}
+    table: dict[str, dict[str, object]] = {}
     for label in sorted(labels):
         reads, writes = label_footprint(label, config)
         table[label] = {

@@ -25,7 +25,7 @@ enables probes.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.jackal.actions import PROBE_LABELS
 from repro.mucalc.syntax import (
@@ -47,7 +47,7 @@ from repro.mucalc.syntax import (
 from repro.staticcheck.findings import Finding, Severity
 
 
-def _flatten(value, out: set) -> None:
+def _flatten(value: Any, out: set[str]) -> None:
     if isinstance(value, str):
         out.add(value)
     elif isinstance(value, (list, tuple)):
@@ -55,7 +55,7 @@ def _flatten(value, out: set) -> None:
             _flatten(v, out)
 
 
-def model_labels(model) -> frozenset[str]:
+def model_labels(model: Any) -> frozenset[str]:
     """Every label ``model`` can emit, from its precomputed tables."""
     out: set[str] = set()
     for attr, value in vars(model).items():
@@ -100,7 +100,7 @@ def formula_literals(formula: Formula) -> list[ActLit]:
         if isinstance(sub, (Box, Diamond)):
             out.extend(_lits_in_regular(sub.reg))
     seen: set[ActLit] = set()
-    unique = []
+    unique: list[ActLit] = []
     for lit in out:
         if lit not in seen:
             seen.add(lit)
@@ -109,7 +109,7 @@ def formula_literals(formula: Formula) -> list[ActLit]:
 
 
 def lint_labels(
-    model, formulas: Iterable[tuple[str, Formula]]
+    model: Any, formulas: Iterable[tuple[str, Formula]]
 ) -> list[Finding]:
     """Diff the labels quoted by ``formulas`` against ``model``'s
     vocabulary."""

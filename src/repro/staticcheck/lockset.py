@@ -37,7 +37,7 @@ from repro.staticcheck.phasegraph import (
 _ALL = frozenset(LockSlot)
 
 
-def _fmt(slots) -> str:
+def _fmt(slots: frozenset[LockSlot]) -> str:
     if not slots:
         return "{}"
     return "{" + ", ".join(str(s) for s in sorted(slots)) + "}"

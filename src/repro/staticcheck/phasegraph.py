@@ -19,6 +19,7 @@ put a thread in appears in the graph.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 from enum import IntEnum
 
@@ -107,7 +108,16 @@ class PhaseGraph:
         return tuple(r for r in self.rules if r.src == phase)
 
 
-def _r(name, src, dst, *, acq=(), rel=(), wait=(), home_side=False):
+def _r(
+    name: str,
+    src: Phase,
+    dst: Phase,
+    *,
+    acq: Iterable[LockSlot] = (),
+    rel: Iterable[LockSlot] = (),
+    wait: Iterable[LockSlot] = (),
+    home_side: bool = False,
+) -> PhaseRule:
     return PhaseRule(
         name=name,
         src=src,

@@ -1,0 +1,454 @@
+"""Cone-of-influence slicing over packed state fields.
+
+The independence pass (:mod:`repro.staticcheck.independence`) already
+assigns every label class a read/write footprint over *coarse* atoms —
+whole structures like ``copy[p]`` or ``rq[p]``. This pass refines each
+structure into its packed sub-fields (the
+:class:`~repro.jackal.codec.StateCodec` bit fields) and builds a
+field-level dependency graph:
+
+* the **guard set** of a class — the fine fields its enabling condition
+  and emitted label can observe;
+* its **flows** — for each fine field the class writes, the fine fields
+  the written value is computed from.
+
+The backward closure from the fields observable by a requirement's
+formulas then yields the *cone of influence*: every field that can ever
+influence an observable label or a field in the cone. Whatever falls
+outside is sliceable — projecting it to a fixed value is a congruence
+of the transition system (projection commutes with stepping), hence a
+strong bisimulation: verdicts of *all* µ-calculus requirements,
+liveness included, are preserved on the projected system.
+
+For the Jackal spec the analysis finds exactly the ``rstate`` family
+(``copy.rstate``, ``rq.rstate``, ``rqa.rstate``, ``mig.rstate``):
+read-state bookkeeping the protocol threads through messages and copy
+rows but that no guard ever reads and no kept field is ever computed
+from — it only flows into itself. Every requirement formula closes
+over ``T*`` (any-action paths), so every label class is observable for
+every requirement and the per-requirement slices coincide; the section
+records them per requirement regardless, with ``common_dropped`` as
+the intersection the backends project by.
+
+Trust chain (all refusals are **JKL403**):
+
+* :func:`verify_slice` statically re-checks a dropped set against the
+  current flow table — a guard reading a dropped field, or a dropped
+  field flowing into a kept one, refuses the slice;
+* :func:`selftest_findings` replays the congruence on a bounded
+  breadth-first sample: ``successors(project(s))`` must equal
+  ``project(successors(s))`` label-for-label (static analysis never
+  builds an LTS — this samples exactly like the equivariance
+  self-test);
+* certificate validation re-derives :func:`slices_section` and rejects
+  drift as JKL404 (see :mod:`repro.staticcheck.certificates`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.independence import STAR, ample_table, parse_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jackal.params import Config
+
+#: version of the ``slices`` certificate section layout
+SLICES_SCHEMA_VERSION = 1
+
+#: every packed sub-field, index-uniform (a slice drops a field at
+#: every processor/thread index, so projection commutes with the
+#: certified permutations by construction)
+UNIVERSE: tuple[str, ...] = (
+    "thr.phase",
+    "thr.reg",
+    "thr.aho",
+    "thr.wdone",
+    "thr.rounds",
+    "thr.dirty",
+    "copy.home",
+    "copy.rstate",
+    "copy.wl",
+    "copy.lt",
+    "hq.slot",
+    "hqa.slot",
+    "rq.core",
+    "rq.wl",
+    "rq.rstate",
+    "rqa.core",
+    "rqa.wl",
+    "rqa.rstate",
+    "lock.srv",
+    "lock.flt",
+    "lock.fls",
+    "mig.wl",
+    "mig.rstate",
+)
+
+#: the read-state bookkeeping family — candidates the flow analysis
+#: may prove sliceable (and, for the shipped spec, does)
+RSTATE_FIELDS = frozenset(
+    ("copy.rstate", "rq.rstate", "rqa.rstate", "mig.rstate")
+)
+
+#: coarse structure -> the fine fields a *guard* over that structure
+#: can observe. ``rstate`` members are deliberately absent: no Jackal
+#: guard reads them (the dynamic self-test would expose a lie here as
+#: a JKL403 congruence counterexample). ``migpend`` is the pending-
+#: migration predicate, a disjunction over mig/rq/rqa cores.
+_COARSE_FIELDS: dict[str, tuple[str, ...]] = {
+    "thr": (
+        "thr.phase",
+        "thr.reg",
+        "thr.aho",
+        "thr.wdone",
+        "thr.rounds",
+        "thr.dirty",
+    ),
+    "copy": ("copy.home", "copy.wl", "copy.lt"),
+    "hq": ("hq.slot",),
+    "hqa": ("hqa.slot",),
+    "rq": ("rq.core", "rq.wl"),
+    "rqa": ("rqa.core", "rqa.wl"),
+    "lock": ("lock.srv", "lock.flt", "lock.fls"),
+    "mig": ("mig.wl",),
+    "migpend": ("mig.wl", "rq.core", "rqa.core"),
+}
+
+#: structure -> its rstate member (for the generic self-flow)
+_STRUCT_RSTATE = {
+    "copy": "copy.rstate",
+    "rq": "rq.rstate",
+    "rqa": "rqa.rstate",
+    "mig": "mig.rstate",
+}
+
+#: where rstate values *cross* structures: class -> {dst: extra srcs}.
+#: These document the real dataflow — a data return carries the home
+#: copy's rstate, queue moves and signals thread it onward — and let
+#: :func:`verify_slice` prove the family closed: rstate flows only
+#: into rstate.
+_RSTATE_XFLOWS: dict[str, dict[str, tuple[str, ...]]] = {
+    "send_dataret": {"rq.rstate": ("copy.rstate",)},
+    "send_dataret_mig": {"rq.rstate": ("copy.rstate",)},
+    "flush_home_migrate": {"mig.rstate": ("copy.rstate",)},
+    "flush_recv_migrate": {"mig.rstate": ("copy.rstate",)},
+    "lock_remotequeue": {"rqa.rstate": ("rq.rstate",)},
+    "signal": {"copy.rstate": ("rqa.rstate",)},
+    "recv_sponmigrate": {"copy.rstate": ("mig.rstate",)},
+}
+
+_FULL = frozenset(UNIVERSE)
+
+
+def _expand(atoms: Iterable[tuple[str, int]]) -> frozenset[str]:
+    out: set[str] = set()
+    for kind, _idx in atoms:
+        out.update(_COARSE_FIELDS.get(kind, ()))
+    return frozenset(out)
+
+
+def fine_footprint(
+    label: str, config: "Config"
+) -> tuple[frozenset[str], frozenset[str]]:
+    """``(guard, writes)`` fine-field sets of one label class.
+
+    The guard set covers everything the enabling condition *and* the
+    emitted label parameters can observe; writes cover every field a
+    transition of the class may assign. Indices are dropped — the
+    slice is index-uniform. Assertion checks read every non-rstate
+    field (their guards compare phases, regions, owners and counters,
+    never read-state bookkeeping — verified by the congruence
+    self-test); unknown classes fail safe with the full universe,
+    which forces the closure to keep everything.
+    """
+    from repro.staticcheck.independence import label_footprint
+
+    name = parse_label(label)[0]
+    reads, writes = label_footprint(label, config)
+    if STAR in reads or STAR in writes:
+        if name == "assertion_violation":
+            return _FULL - RSTATE_FIELDS, frozenset()
+        return _FULL, _FULL
+    fine_reads = _expand(reads)
+    fine_writes = set(_expand(writes))
+    for kind, _idx in writes:
+        rs = _STRUCT_RSTATE.get(kind)
+        if rs is not None:
+            fine_writes.add(rs)
+    return fine_reads, frozenset(fine_writes)
+
+
+def class_flows(
+    label: str, config: "Config"
+) -> dict[str, frozenset[str]]:
+    """``{written field: fields its new value is computed from}``.
+
+    Kept fields are conservatively computed from the whole guard set
+    (control dependence included); rstate fields only from their own
+    family (self-flow plus the documented cross-flows).
+    """
+    name = parse_label(label)[0]
+    guard, writes = fine_footprint(label, config)
+    xflows = _RSTATE_XFLOWS.get(name, {})
+    flows: dict[str, frozenset[str]] = {}
+    for dst in writes:
+        if dst in RSTATE_FIELDS and guard.isdisjoint(RSTATE_FIELDS):
+            flows[dst] = frozenset((dst,)) | frozenset(xflows.get(dst, ()))
+        else:
+            flows[dst] = guard | frozenset(xflows.get(dst, ()))
+    return flows
+
+
+def label_classes(config: "Config") -> tuple[str, ...]:
+    """The label classes of ``config``'s vocabulary (union over
+    variants, probe labels included), one representative per class."""
+    seen: dict[str, str] = {}
+    for label in ample_table(config)["labels"]:
+        seen.setdefault(parse_label(label)[0], label)
+    return tuple(seen[name] for name in sorted(seen))
+
+
+def _observes_every_class(formula: object) -> bool:
+    """Whether a formula's regulars quantify over arbitrary actions
+    (``T*`` paths or negated predicates), making every class
+    observable. All shipped requirement formulas do."""
+    from repro.mucalc.syntax import AnyAct, NotAct, subformulas
+
+    for sub in subformulas(formula):
+        reg = getattr(sub, "reg", None)
+        if reg is None:
+            continue
+        stack = [reg]
+        while stack:
+            node = stack.pop()
+            pred = getattr(node, "pred", None)
+            if isinstance(pred, (AnyAct, NotAct)):
+                return True
+            for attr in ("left", "right", "inner"):
+                child = getattr(node, attr, None)
+                if child is not None:
+                    stack.append(child)
+    return False
+
+
+def cone_of_influence(
+    config: "Config", observable: Iterable[str] | None = None
+) -> tuple[frozenset[str], frozenset[str]]:
+    """``(kept, dropped)`` fine fields for ``config``.
+
+    Seeds the closure with the guard sets of the observable classes
+    (``None`` = every class) and saturates over the flow graph: a
+    field in the cone pulls in every field it is computed from.
+    """
+    classes = label_classes(config)
+    if observable is not None:
+        wanted = set(observable)
+        classes = tuple(
+            c for c in classes if parse_label(c)[0] in wanted
+        ) or classes
+    guards = {c: fine_footprint(c, config)[0] for c in classes}
+    flows = {c: class_flows(c, config) for c in classes}
+    relevant: set[str] = set()
+    for c in classes:
+        relevant |= guards[c]
+    changed = True
+    while changed:
+        changed = False
+        for c in classes:
+            for dst, srcs in flows[c].items():
+                if dst in relevant and not srcs <= relevant:
+                    relevant |= srcs
+                    changed = True
+    kept = frozenset(relevant)
+    return kept, _FULL - kept
+
+
+def verify_slice(config: "Config", dropped: Iterable[str]) -> list[Finding]:
+    """JKL403 findings refuting a dropped-field set.
+
+    A slice is sound iff no guard observes a dropped field and no
+    dropped field flows into a kept one; both are re-checked against
+    the *current* flow table, so a slice certified against an older
+    spec is refused here rather than silently mis-projected.
+    """
+    dropped = frozenset(dropped)
+    findings: list[Finding] = []
+    unknown = dropped - _FULL
+    if unknown:
+        findings.append(
+            Finding(
+                "JKL403",
+                Severity.ERROR,
+                "slice/fields",
+                f"dropped fields {sorted(unknown)} are not packed state "
+                "fields of this spec",
+                data={"expected": sorted(_FULL), "found": sorted(unknown)},
+            )
+        )
+        return findings
+    for cls in label_classes(config):
+        name = parse_label(cls)[0]
+        guard, _writes = fine_footprint(cls, config)
+        hit = sorted(guard & dropped)
+        if hit:
+            findings.append(
+                Finding(
+                    "JKL403",
+                    Severity.ERROR,
+                    f"slice/{name}",
+                    f"guard of class {name!r} observes dropped "
+                    f"field(s) {hit}: projecting them changes "
+                    "enabledness, the slice is not a congruence",
+                    data={"class": name, "expected": [], "found": hit},
+                )
+            )
+            continue
+        for dst, srcs in class_flows(cls, config).items():
+            if dst in dropped:
+                continue
+            leak = sorted(srcs & dropped)
+            if leak:
+                findings.append(
+                    Finding(
+                        "JKL403",
+                        Severity.ERROR,
+                        f"slice/{name}",
+                        f"class {name!r} computes kept field {dst!r} "
+                        f"from dropped field(s) {leak}: the projection "
+                        "loses information the transition relation "
+                        "depends on",
+                        data={
+                            "class": name,
+                            "field": dst,
+                            "expected": [],
+                            "found": leak,
+                        },
+                    )
+                )
+    return findings
+
+
+def slices_section(
+    config: "Config",
+) -> tuple[dict | None, list[Finding]]:
+    """Derive the ``slices`` certificate section for ``config``.
+
+    Pure and deterministic — certificate validation re-derives it and
+    rejects drift as JKL404. Returns ``(section, findings)``; the
+    section is ``None`` when the derived slice fails its own static
+    verification (JKL403), which on the shipped spec it never does.
+    """
+    from repro.staticcheck.formulasym import requirement_formula_families
+
+    families = requirement_formula_families(config)
+    requirements: dict[str, dict] = {}
+    all_dropped: list[frozenset[str]] = []
+    findings: list[Finding] = []
+
+    def entry(observable: Iterable[str] | None) -> dict:
+        kept, dropped = cone_of_influence(config, observable)
+        findings.extend(verify_slice(config, dropped))
+        all_dropped.append(dropped)
+        return {
+            "observable_classes": (
+                "all" if observable is None else sorted(observable)
+            ),
+            "kept": sorted(kept),
+            "dropped": sorted(dropped),
+        }
+
+    # requirements 1 (deadlock freeness) and 2 (assertion reachability)
+    # observe the whole transition relation
+    requirements["1"] = entry(None)
+    requirements["2"] = entry(None)
+    for req in sorted(families):
+        observes_all = any(
+            _observes_every_class(f) for _name, f in families[req]
+        )
+        requirements[req] = entry(None if observes_all else ())
+    if findings:
+        return None, findings
+    common = frozenset(_FULL)
+    for dropped in all_dropped:
+        common &= dropped
+    section = {
+        "schema": SLICES_SCHEMA_VERSION,
+        "atoms": list(UNIVERSE),
+        "requirements": requirements,
+        "common_dropped": sorted(common),
+    }
+    return section, findings
+
+
+def selftest_findings(
+    model: object,
+    dropped: Iterable[str],
+    *,
+    max_states: int = 200,
+    max_findings: int = 3,
+) -> list[Finding]:
+    """JKL403 congruence counterexamples on a bounded state sample.
+
+    For sampled ``s``, stepping then projecting must equal projecting
+    then stepping, label-for-label — the dynamic witness that the
+    static flow table told the truth. Samples via the model's
+    successor function only (never the exploration machinery).
+    """
+    from repro.staticcheck.symmetry import _sample_states
+
+    dropped = frozenset(dropped)
+    if not dropped:
+        return []
+    codec = model.codec()  # type: ignore[attr-defined]
+    project = codec.projector(dropped)
+    findings: list[Finding] = []
+    for state in _sample_states(model, max_states):
+        if len(state) != 8:
+            continue
+        projected = project(state)
+        expected = sorted(
+            (lbl, codec.encode(project(ns)))
+            for lbl, ns in model.successors(state)  # type: ignore[attr-defined]
+        )
+        actual = sorted(
+            (lbl, codec.encode(project(ns)))
+            for lbl, ns in model.successors(projected)  # type: ignore[attr-defined]
+        )
+        if expected != actual:
+            exp_labels = [lbl for lbl, _ in expected]
+            act_labels = [lbl for lbl, _ in actual]
+            diff = sorted(
+                set(exp_labels).symmetric_difference(act_labels)
+            ) or ["<same labels, different targets>"]
+            findings.append(
+                Finding(
+                    "JKL403",
+                    Severity.ERROR,
+                    "slice/congruence",
+                    "slice projection is not a congruence: stepping a "
+                    "projected state and projecting the successors "
+                    f"disagree at a sampled state (dropped="
+                    f"{sorted(dropped)}, mismatched labels: {diff[:4]})",
+                    data={
+                        "dropped": sorted(dropped),
+                        "mismatched_labels": diff[:4],
+                    },
+                )
+            )
+            if len(findings) >= max_findings:
+                return findings
+    return findings
+
+
+def certified_slice(certificate: object) -> frozenset[str]:
+    """The common dropped-field set a validated certificate licenses
+    (empty when the certificate predates or refused slicing)."""
+    section = getattr(certificate, "slices", None)
+    if not isinstance(section, Mapping):
+        return frozenset()
+    return frozenset(section.get("common_dropped", ()))
+
+
+ProjectFn = Callable[[object], object]

@@ -31,6 +31,7 @@ variables); guards over process parameters are skipped, not guessed.
 from __future__ import annotations
 
 from itertools import product
+from typing import Any, Iterator
 
 from repro.algebra.composition import Comm, Encap, Hide, Par, Rename
 from repro.algebra.spec import ProcessDef, Spec
@@ -196,7 +197,7 @@ def _comms_in(term: ProcessTerm) -> list[Comm]:
     return out
 
 
-def _sync_sets_in(term: ProcessTerm):
+def _sync_sets_in(term: ProcessTerm) -> Iterator[tuple[str, Any]]:
     """Yield ``(kind, names)`` for every Encap/Hide set under ``term``."""
     if isinstance(term, Encap):
         yield "encap", term.names
@@ -224,7 +225,7 @@ def lint_spec(spec: Spec, name: str = "<spec>") -> list[Finding]:
     return findings
 
 
-def lint_system(system, name: str = "<system>") -> list[Finding]:
+def lint_system(system: Any, name: str = "<system>") -> list[Finding]:
     """All spec lints over a :class:`~repro.algebra.semantics.SpecSystem`.
 
     Adds the cross-cutting checks that need the closed composition: the

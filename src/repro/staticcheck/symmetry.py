@@ -26,6 +26,13 @@ Certification is three independent obligations:
    ``succ(π(s)) = π(succ(s))``, labels included. Any counterexample is
    JKL302 with the offending state and permutation.
 
+Once those hold, the certifier runs the two formula-directed passes of
+certificate schema v3 — formula symmetrization
+(:mod:`repro.staticcheck.formulasym`, JKL401/402) and cone-of-influence
+slicing (:mod:`repro.staticcheck.slicing`, JKL403) — and signs their
+sections into the certificate alongside the group and the independence
+table. Certification is refused, never degraded, on any ERROR.
+
 Soundness note: the *initial* state is deliberately not required to be
 a fixed point of the group (``initial_home`` picks a processor). The
 reduced semantics explores the orbit quotient, whose initial node is
@@ -36,12 +43,17 @@ is exactly what makes that quotient trace-equivalent up to renaming.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, replace
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
 from itertools import permutations as _permutations, product
+from typing import TYPE_CHECKING, Any
 
 from repro.jackal.model import JackalModel
 from repro.jackal.params import Config, ProtocolVariant
 from repro.staticcheck.findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from repro.staticcheck.certificates import ReductionCertificate
 
 #: default number of sampled states for the equivariance self-test
 DEFAULT_SELFTEST_STATES = 200
@@ -49,7 +61,7 @@ DEFAULT_SELFTEST_STATES = 200
 _INDEX_TOKEN = re.compile(r"\b([tp])(\d+)\b")
 
 
-def _remap_mask(mask: int, index_map) -> int:
+def _remap_mask(mask: int, index_map: Sequence[int]) -> int:
     """Remap a bitmask through an index permutation."""
     out = 0
     for i, j in enumerate(index_map):
@@ -70,8 +82,12 @@ class Permutation:
 
     pid_map: tuple[int, ...]
     tid_map: tuple[int, ...]
+    # precomputed mask tables — derived, excluded from init/eq/repr so
+    # equality and hashing stay on the two maps alone
+    _pmask: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _tmask: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(
             self,
             "_pmask",
@@ -99,15 +115,35 @@ class Permutation:
         """JSON form stored in the certificate's ``group`` list."""
         return {"pid_map": list(self.pid_map), "tid_map": list(self.tid_map)}
 
+    # -- group structure -------------------------------------------------
+
+    def inverse(self) -> "Permutation":
+        """The inverse renaming: ``g.inverse().apply(g.apply(s)) == s``."""
+        pid = [0] * len(self.pid_map)
+        tid = [0] * len(self.tid_map)
+        for i, j in enumerate(self.pid_map):
+            pid[j] = i
+        for i, j in enumerate(self.tid_map):
+            tid[j] = i
+        return Permutation(tuple(pid), tuple(tid))
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """``self ∘ other`` — apply ``other`` first, then ``self``
+        (``(a.compose(b)).apply(s) == a.apply(b.apply(s))``)."""
+        return Permutation(
+            tuple(self.pid_map[p] for p in other.pid_map),
+            tuple(self.tid_map[t] for t in other.tid_map),
+        )
+
     # -- action on states ------------------------------------------------
 
-    def _hmsg(self, msg):
+    def _hmsg(self, msg: Any) -> Any:
         if msg == 0:
             return 0
         kind, tid, src, r = msg
         return (kind, self.tid_map[tid], self.pid_map[src], r)
 
-    def _rmsg(self, msg):
+    def _rmsg(self, msg: Any) -> Any:
         if msg == 0:
             return 0
         kind, tid, sender, mig, wl, rstate, r = msg
@@ -124,7 +160,7 @@ class Permutation:
     def _holder(self, h: int) -> int:
         return self.tid_map[h - 1] + 1 if h else 0
 
-    def apply(self, state):
+    def apply(self, state: Any) -> Any:
         """The permuted state (VIOLATION is a fixed point)."""
         if len(state) != 8:
             return state
@@ -132,18 +168,18 @@ class Permutation:
         pm, tm = self.pid_map, self.tid_map
         pmask, tmask = self._pmask, self._tmask
         P = len(pm)
-        nthreads = [None] * len(tm)
+        nthreads: list[Any] = [None] * len(tm)
         for t, th in enumerate(threads):
             # thread tuples carry only phase/region/flag/counter fields,
             # all invariant under renaming: rows just move
             nthreads[tm[t]] = th
-        ncopies = [None] * P
-        nhq = [None] * P
-        nrq = [None] * P
-        nhqa = [None] * P
-        nrqa = [None] * P
-        nlocks = [None] * P
-        nmigs = [None] * P
+        ncopies: list[Any] = [None] * P
+        nhq: list[Any] = [None] * P
+        nrq: list[Any] = [None] * P
+        nhqa: list[Any] = [None] * P
+        nrqa: list[Any] = [None] * P
+        nlocks: list[Any] = [None] * P
+        nmigs: list[Any] = [None] * P
         for p in range(P):
             q = pm[p]
             ncopies[q] = tuple(
@@ -205,7 +241,7 @@ def admissible_group(config: Config) -> tuple[Permutation, ...]:
     tpp = config.threads_per_processor
     P = config.n_processors
     blocks = [tuple(config.thread_ids_of(p)) for p in range(P)]
-    out = []
+    out: list[Permutation] = []
     for sigma in _permutations(range(P)):
         if any(tpp[sigma[p]] != tpp[p] for p in range(P)):
             continue
@@ -219,7 +255,9 @@ def admissible_group(config: Config) -> tuple[Permutation, ...]:
     return tuple(out)
 
 
-def is_admissible(config: Config, pid_map, tid_map) -> bool:
+def is_admissible(
+    config: Config, pid_map: Sequence[int], tid_map: Sequence[int]
+) -> bool:
     """Whether the two maps form an admissible permutation of ``config``
     (used by certificate validation; cheap, no group enumeration)."""
     P, T = config.n_processors, config.n_threads
@@ -239,7 +277,9 @@ def is_admissible(config: Config, pid_map, tid_map) -> bool:
 # -- obligation 2: index genericity -------------------------------------
 
 
-def _label_closure_findings(model, group) -> list[Finding]:
+def _label_closure_findings(
+    model: Any, group: Sequence[Permutation]
+) -> list[Finding]:
     from repro.staticcheck.labelcheck import model_labels
 
     vocabulary = model_labels(model)
@@ -259,6 +299,10 @@ def _label_closure_findings(model, group) -> list[Finding]:
                     f"permutation pid_map={list(perm.pid_map)}: a rule "
                     "exists for some indices but not their renamings "
                     f"(e.g. {broken[0]!r} is never emitted)",
+                    data={
+                        "permutation": perm.as_dict(),
+                        "missing": broken[:4],
+                    },
                 )
             )
             break
@@ -287,7 +331,7 @@ def _guard_literal_findings() -> list[Finding]:
 
     findings: list[Finding] = []
 
-    def expr_special_cases(expr, indexed: dict[str, str]) -> bool:
+    def expr_special_cases(expr: Any, indexed: dict[str, str]) -> bool:
         """Does ``expr`` combine an index-sorted variable with an int
         literal inside the same function application?"""
         if not isinstance(expr, Fn):
@@ -304,7 +348,7 @@ def _guard_literal_findings() -> list[Finding]:
             return True
         return any(expr_special_cases(a, indexed) for a in expr.args)
 
-    def walk(term, indexed: dict[str, str], where: str) -> None:
+    def walk(term: Any, indexed: dict[str, str], where: str) -> None:
         if isinstance(term, Sum):
             inner = dict(indexed)
             if term.sort.name in ("TID", "PID"):
@@ -347,7 +391,7 @@ def _guard_literal_findings() -> list[Finding]:
 # -- obligation 3: bounded equivariance self-test -----------------------
 
 
-def _sample_states(model, limit: int) -> list:
+def _sample_states(model: Any, limit: int) -> list[Any]:
     """Up to ``limit`` states by plain breadth-first walk over
     ``model.successors``. Deliberately *not* the exploration machinery:
     static analysis never builds an LTS, it samples a bounded prefix."""
@@ -372,8 +416,8 @@ def _sample_states(model, limit: int) -> list:
 
 
 def equivariance_findings(
-    model,
-    group,
+    model: Any,
+    group: Sequence[Permutation],
     *,
     max_states: int = DEFAULT_SELFTEST_STATES,
     max_findings: int = 3,
@@ -396,6 +440,7 @@ def equivariance_findings(
                         "decode(encode(permute(s))) != permute(s) for "
                         f"pid_map={list(perm.pid_map)}: the packed layout "
                         "does not respect the permutation action",
+                        data={"permutation": perm.as_dict()},
                     )
                 )
             expected = sorted(
@@ -419,6 +464,10 @@ def equivariance_findings(
                         f"tid_map={list(perm.tid_map)}: permuting and "
                         "stepping disagree at a sampled state "
                         f"(mismatched labels: {diff[:4]})",
+                        data={
+                            "permutation": perm.as_dict(),
+                            "mismatched_labels": diff[:4],
+                        },
                     )
                 )
             if len(findings) >= max_findings:
@@ -433,9 +482,9 @@ def certify(
     config: Config,
     variant: ProtocolVariant,
     *,
-    model=None,
+    model: Any = None,
     max_states: int = DEFAULT_SELFTEST_STATES,
-):
+) -> tuple[ReductionCertificate | None, list[Finding]]:
     """Attempt to certify symmetry + independence for ``config``.
 
     Returns ``(certificate, findings)``: a signed
@@ -475,14 +524,43 @@ def certify(
         )
     if any(f.severity == Severity.ERROR for f in findings):
         return None, findings
+    # formula-directed passes (certificate schema v3): symmetrize the
+    # requirement formulas under the certified group and derive the
+    # cone-of-influence field slice, each with its own refusals
+    from repro.staticcheck.formulasym import (
+        formulas_section,
+        vocabulary_findings,
+    )
+    from repro.staticcheck.slicing import selftest_findings, slices_section
+
+    formulas, formula_findings = formulas_section(config)
+    findings.extend(formula_findings)
+    if formulas is not None:
+        findings.extend(vocabulary_findings(model, config, nontrivial))
+    slices, slice_findings = slices_section(config)
+    findings.extend(slice_findings)
+    dropped: frozenset = frozenset()
+    if slices is not None and not any(
+        f.severity == Severity.ERROR for f in findings
+    ):
+        dropped = frozenset(slices["common_dropped"])
+        findings.extend(
+            selftest_findings(model, dropped, max_states=max_states)
+        )
+    if any(f.severity == Severity.ERROR for f in findings):
+        return None, findings
+    assert formulas is not None and slices is not None
     cert = issue(
         config,
         variant,
         group=nontrivial,
         independence=independence.ample_table(config),
+        formulas=formulas,
+        slices=slices,
         selftest={
             "states_sampled": max_states,
             "permutations": len(nontrivial),
+            "slice_states_sampled": max_states if dropped else 0,
         },
     )
     return cert, findings

@@ -53,6 +53,17 @@ def test_refuses_tampered_certificate():
         ReducedSystem(_model(CONFIG_1), cert)
 
 
+@pytest.mark.parametrize("section", ["formulas", "slices"])
+def test_refuses_drifted_v3_section_even_resigned(section):
+    # re-signing after editing a formula-directed section defeats
+    # JKL304; the section re-derivation (JKL404) must still refuse
+    cert = _cert(CONFIG_1)
+    setattr(cert, section, {"schema": 99, "doctored": True})
+    cert.sign()
+    with pytest.raises(ReproError, match="JKL404"):
+        ReducedSystem(_model(CONFIG_1), cert)
+
+
 def test_refuses_systems_without_config():
     class Bare:
         def initial_state(self):
@@ -97,6 +108,20 @@ def test_reduction_counters_count():
     explore_fast(red)
     assert red.canonical_hits > 0
     assert red.ample_prunes > 0
+    assert red.slice_hits > 0
+
+
+def test_certified_slice_shrinks_beyond_canonical_only():
+    # the cone-of-influence slice must buy states the symmetry quotient
+    # and ample pruning do not already merge (the rstate bookkeeping
+    # diverges across interleavings that canonicalization cannot align)
+    cert = _cert(CONFIG_1)
+    model = _model(CONFIG_1)
+    sliced = explore_fast(ReducedSystem(model, cert))
+    unsliced = explore_fast(
+        ReducedSystem(model, cert, slice_fields=())
+    )
+    assert sliced.n_states < unsliced.n_states
 
 
 @pytest.mark.parametrize(
@@ -119,11 +144,16 @@ def test_visited_states_drop_at_least_2x(config):
     "config,variant",
     [
         (CONFIG_1, ProtocolVariant.fixed()),
+        (CONFIG_1, ProtocolVariant.error1()),
         (CONFIG_1, ProtocolVariant.error2()),
         (CONFIG_2, ProtocolVariant.fixed()),
         (CONFIG_2, ProtocolVariant.error1()),
+        (CONFIG_2, ProtocolVariant.error2()),
     ],
-    ids=["c1-fixed", "c1-error2", "c2-fixed", "c2-error1"],
+    ids=[
+        "c1-fixed", "c1-error1", "c1-error2",
+        "c2-fixed", "c2-error1", "c2-error2",
+    ],
 )
 def test_verdicts_match_unreduced_sweep(config, variant):
     cert = _cert(config, variant)
@@ -132,6 +162,20 @@ def test_verdicts_match_unreduced_sweep(config, variant):
     assert {k: r.holds for k, r in plain.items()} == {
         k: r.holds for k, r in reduced.items()
     }
+
+
+def test_requirement_4_runs_the_full_quotient():
+    # the certified formulas section must license the full symmetry
+    # quotient for the plain sweep — not the historical ample-only
+    # fallback — and the quotiented sweep must be strictly smaller
+    cert = _cert(CONFIG_1)
+    reduced = check_all_requirements(CONFIG_1, FIXED, certificate=cert)
+    assert "full quotient" in reduced["4"].requirement
+    assert reduced["4"].holds
+    ample_only = explore_fast(
+        ReducedSystem(_model(CONFIG_1), cert, canonical=False)
+    )
+    assert reduced["4"].lts_states < ample_only.n_states
 
 
 # -- bench surfaces the factor -----------------------------------------------
@@ -150,6 +194,21 @@ def test_bench_reports_reduction_factor():
     assert red["factor"] >= 2.0
     assert red["canonical_hits"] > 0
     assert red["ample_prunes"] > 0
+
+
+def test_bench_reports_slice_gain_over_canonical_only():
+    # acceptance: on at least one configuration the slice must beat the
+    # canonical+ample reduction alone, and the bench must surface it
+    cert = _cert(CONFIG_1)
+    report = bench_explore(
+        _model(CONFIG_1),
+        backends=("serial",),
+        certificate=cert,
+    )
+    red = report["reduction"]
+    assert red["slice_hits"] > 0
+    assert red["states"] < red["states_canonical_only"]
+    assert red["factor"] > red["factor_canonical_only"]
 
 
 # -- pickling (what the distributed workers rely on) -------------------------

@@ -263,8 +263,10 @@ def test_lint_certify_writes_certificate(tmp_path, capsys):
     cert_path = tmp_path / "CERT.json"
     code = main(["lint", "--certify", "--cert-out", str(cert_path)])
     assert code == 0
+    from repro.staticcheck.certificates import CERT_SCHEMA_VERSION
+
     data = json.loads(cert_path.read_text())
-    assert data["schema_version"] == 1
+    assert data["schema_version"] == CERT_SCHEMA_VERSION
     assert data["group"]
     assert data["signature"]
     assert str(cert_path) in capsys.readouterr().out
@@ -340,14 +342,15 @@ def test_explore_reduce_shrinks_the_lts(tmp_path, capsys):
     assert main(["explore"]) == 0
     unreduced = capsys.readouterr().out
     assert "288" in unreduced
-    # the plain LTS keeps real states (ample pruning only) so it stays
-    # sound for per-thread formulas ...
+    # the certified formulas section licenses the full symmetry
+    # quotient for the plain LTS too (per-thread formulas are decided
+    # on its group-unfolding), and the slice trims the rstate fields ...
     assert main(["explore", "--reduce", str(cert_path)]) == 0
-    assert "258" in capsys.readouterr().out
-    # ... while the probe LTS (the requirement-3 view) additionally
-    # takes the symmetry quotient
+    assert "154" in capsys.readouterr().out
+    # ... and the probe LTS (the requirement-3 view) lands on the same
+    # sliced quotient
     assert main(["explore", "--probes", "--reduce", str(cert_path)]) == 0
-    assert "191" in capsys.readouterr().out
+    assert "154" in capsys.readouterr().out
 
 
 # -- error handling: ReproError -> message on stderr, exit code 2 -----------
