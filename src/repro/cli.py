@@ -283,6 +283,7 @@ def _cmd_bench(args) -> int:
                 profile=args.profile,
                 faults=faults,
                 batch_size=args.batch_size,
+                transport=args.transport,
                 certificate=cert,
             )
     except BenchMismatchError as exc:
@@ -306,6 +307,22 @@ def _cmd_bench(args) -> int:
             print(
                 f"FAIL: best throughput {best:.0f} states/s below the "
                 f"--min-sps floor {args.min_sps}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_dist_speedup is not None:
+        dist_speedup = report["speedup"].get("distributed")
+        if dist_speedup is None:
+            print(
+                "FAIL: --min-dist-speedup set but the distributed "
+                "backend did not run",
+                file=sys.stderr,
+            )
+            return 1
+        if dist_speedup < args.min_dist_speedup:
+            print(
+                f"FAIL: distributed speedup {dist_speedup:.2f}x below "
+                f"the --min-dist-speedup floor {args.min_dist_speedup}",
                 file=sys.stderr,
             )
             return 1
@@ -448,8 +465,14 @@ def main(argv: list[str] | None = None) -> int:
         default="serial,engine,engine-packed,distributed",
         help="comma-separated backends (serial is always run)",
     )
-    p.add_argument("--workers", type=int, default=2,
-                   help="partitions for the distributed backend (default 2)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="partitions for the distributed backend "
+                   "(default: the machine's available CPU count)")
+    p.add_argument("--transport", default=None,
+                   choices=("auto", "queue", "shm"),
+                   help="distributed transport (default auto: "
+                   "shared-memory rings when codec+fork are available, "
+                   "else the pickled-queue fallback)")
     p.add_argument("--repeats", type=int, default=1,
                    help="timed runs per backend; best is reported")
     p.add_argument("--profile", action="store_true",
@@ -467,6 +490,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the report (e.g. BENCH_explore.json)")
     p.add_argument("--min-sps", type=float, default=None,
                    help="exit 1 if the best backend is slower than this")
+    p.add_argument("--min-dist-speedup", type=float, default=None,
+                   help="exit 1 if the distributed backend's speedup "
+                   "over serial falls below this (e.g. 1.0)")
     _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_bench)

@@ -28,10 +28,13 @@ instead of a tuple tree), hash partitioning mixes it directly
 (:func:`repro.lts.statehash.state_key64`), and the distributed backend
 ships packed keys between workers instead of pickled tuple trees.
 
-Sub-tuple packing is memoised: protocol states overlap heavily in
-their components (a transition changes one thread, one copy, one
-queue slot), so after warm-up an ``encode`` is a handful of dict hits
-on small tuples rather than a field-by-field walk.
+Packing is memoised at two levels: sub-tuples (one thread, one copy
+row, one queue slot) and whole state *halves* — ``(threads, copies)``
+and ``(queues, locks, migrations)``. A transition usually perturbs
+only one half, so after warm-up an ``encode`` is two dict hits and a
+shift rather than a field-by-field walk; the half memos are capped
+(:data:`_HALF_MEMO_MAX`) so the cache never outgrows the sweep it is
+accelerating.
 """
 
 from __future__ import annotations
@@ -47,6 +50,11 @@ from repro.jackal.model import VIOLATION, JackalModel, Msg
 PROJECTABLE_FIELDS = frozenset(
     ("copy.rstate", "rq.rstate", "rqa.rstate", "mig.rstate")
 )
+
+#: entry cap on the half-state encode memos — pure caches (clearing
+#: costs a re-walk, never correctness), so bounding them keeps the
+#: codec's footprint flat on billion-state sweeps
+_HALF_MEMO_MAX = 1 << 18
 
 
 def _width(max_value: int) -> int:
@@ -101,18 +109,30 @@ class StateCodec:
         self._w_mig = _width(1 << (P + 1))
         self._w_migrow = R * self._w_mig
 
-        #: total key width (including the violation flag bit)
-        self.n_bits = 1 + (
-            T * self._w_thread
-            + P * self._w_copyrow
-            + 2 * P * self._w_hmsg
+        #: bit widths of the two memoised state halves (see encode):
+        #: hi = (threads, copies), lo = (queues, locks, migrations)
+        self._w_hi = T * self._w_thread + P * self._w_copyrow
+        self._w_lo = (
+            2 * P * self._w_hmsg
             + 2 * P * self._w_rmsg
             + P * self._w_locks
             + P * self._w_migrow
         )
+        #: total key width (including the violation flag bit)
+        self.n_bits = 1 + self._w_hi + self._w_lo
         #: bytes needed by :meth:`encode_bytes`
         self.n_bytes = (self.n_bits + 7) // 8
 
+        # half-state memo tables: (threads, copies) -> packed hi bits,
+        # (hq, rq, hqa, rqa, locks, migs) -> packed lo bits. Successor
+        # states overlap heavily in whole halves (a transition usually
+        # touches one thread *or* one queue slot), so a warm encode is
+        # two dict hits and one shift instead of a 20-field walk.
+        self._enc_hi: dict = {}
+        self._enc_lo: dict = {}
+        self._dec_hi: dict = {}
+        self._dec_lo: dict = {}
+        self._lo_mask = (1 << self._w_lo) - 1
         # memo tables: sub-tuple -> packed bits (and the reverse)
         self._enc_thread: dict = {}
         self._enc_copyrow: dict = {}
@@ -264,13 +284,9 @@ class StateCodec:
 
     # -- public API -----------------------------------------------------
 
-    def encode(self, state) -> int:
-        """Pack ``state`` into its integer key (``0`` = VIOLATION)."""
-        if len(state) != 8:
-            if state != VIOLATION:
-                raise ModelError(f"not a protocol state: {state!r}")
-            return 0
-        threads, copies, hq, rq, hqa, rqa, locks, migs = state
+    def _pack_hi(self, hi) -> int:
+        """Pack the ``(threads, copies)`` half (field-walk slow path)."""
+        threads, copies = hi
         key = 0
         et = self._enc_thread
         wt = self._w_thread
@@ -288,6 +304,12 @@ class StateCodec:
                 v = ec[row] = self._pack_copyrow(row)
                 self._dec_copyrow[v] = row
             key = key << wc | v
+        return key
+
+    def _pack_lo(self, lo) -> int:
+        """Pack the ``(hq, rq, hqa, rqa, locks, migs)`` half."""
+        hq, rq, hqa, rqa, locks, migs = lo
+        key = 0
         eh = self._enc_hmsg
         wh = self._w_hmsg
         er = self._enc_rmsg
@@ -322,41 +344,100 @@ class StateCodec:
                 v = em[row] = self._pack_migrow(row)
                 self._dec_migrow[v] = row
             key = key << wm | v
-        return key << 1 | 1
+        return key
+
+    def encode(self, state) -> int:
+        """Pack ``state`` into its integer key (``0`` = VIOLATION)."""
+        if len(state) != 8:
+            if state != VIOLATION:
+                raise ModelError(f"not a protocol state: {state!r}")
+            return 0
+        hi_part = state[:2]
+        hi = self._enc_hi.get(hi_part)
+        if hi is None:
+            if len(self._enc_hi) > _HALF_MEMO_MAX:
+                self._enc_hi.clear()
+            hi = self._enc_hi[hi_part] = self._pack_hi(hi_part)
+            self._dec_hi.setdefault(hi, hi_part)
+        lo_part = state[2:]
+        lo = self._enc_lo.get(lo_part)
+        if lo is None:
+            if len(self._enc_lo) > _HALF_MEMO_MAX:
+                self._enc_lo.clear()
+            lo = self._enc_lo[lo_part] = self._pack_lo(lo_part)
+            self._dec_lo.setdefault(lo, lo_part)
+        return (hi << self._w_lo | lo) << 1 | 1
+
+    def _take(self, key: int, width: int, count: int, table: dict, unpack):
+        """Split ``count`` ``width``-bit fields off the low end of ``key``.
+
+        Returns ``(remaining_key, fields)`` with the fields memoised
+        through ``table``. A plain method rather than a closure inside
+        :meth:`decode`: decode sits on the distributed transport's
+        per-state hot path, and building a cell-variable closure per
+        call costs more than the field walk itself.
+        """
+        mask = (1 << width) - 1
+        get = table.get
+        out = []
+        append = out.append
+        for _ in range(count):
+            v = key & mask
+            key >>= width
+            item = get(v)
+            if item is None:
+                item = table[v] = unpack(v)
+            append(item)
+        out.reverse()
+        return key, tuple(out)
+
+    def _unpack_hi(self, bits: int):
+        """Field-walk the hi half back into ``(threads, copies)``."""
+        take = self._take
+        bits, copies = take(bits, self._w_copyrow, self.P,
+                            self._dec_copyrow, self._unpack_copyrow)
+        bits, threads = take(bits, self._w_thread, self.T,
+                             self._dec_thread, self._unpack_thread)
+        return (threads, copies)
+
+    def _unpack_lo(self, bits: int):
+        """Field-walk the lo half back into its six components."""
+        P = self.P
+        take = self._take
+        bits, migs = take(bits, self._w_migrow, P, self._dec_migrow,
+                          self._unpack_migrow)
+        bits, locks = take(bits, self._w_locks, P, self._dec_locks,
+                           self._unpack_locks)
+        bits, rqa = take(bits, self._w_rmsg, P, self._dec_rmsg,
+                         self._unpack_rmsg)
+        bits, rq = take(bits, self._w_rmsg, P, self._dec_rmsg,
+                        self._unpack_rmsg)
+        bits, hqa = take(bits, self._w_hmsg, P, self._dec_hmsg,
+                         self._unpack_hmsg)
+        bits, hq = take(bits, self._w_hmsg, P, self._dec_hmsg,
+                        self._unpack_hmsg)
+        return (hq, rq, hqa, rqa, locks, migs)
 
     def decode(self, key: int):
-        """Inverse of :meth:`encode`."""
+        """Inverse of :meth:`encode` (half-memoised like encode)."""
         if key == 0:
             return VIOLATION
         key >>= 1
-        P, R = self.P, self.R
-
-        def take(width: int, count: int, table: dict, unpack):
-            nonlocal key
-            mask = (1 << width) - 1
-            out = []
-            for _ in range(count):
-                v = key & mask
-                key >>= width
-                item = table.get(v)
-                if item is None:
-                    item = table[v] = unpack(v)
-                out.append(item)
-            return tuple(reversed(out))
-
-        migs = take(self._w_migrow, P, self._dec_migrow, self._unpack_migrow)
-        locks = take(self._w_locks, P, self._dec_locks, self._unpack_locks)
-        rqa = take(self._w_rmsg, P, self._dec_rmsg, self._unpack_rmsg)
-        rq = take(self._w_rmsg, P, self._dec_rmsg, self._unpack_rmsg)
-        hqa = take(self._w_hmsg, P, self._dec_hmsg, self._unpack_hmsg)
-        hq = take(self._w_hmsg, P, self._dec_hmsg, self._unpack_hmsg)
-        copies = take(
-            self._w_copyrow, P, self._dec_copyrow, self._unpack_copyrow
-        )
-        threads = take(
-            self._w_thread, self.T, self._dec_thread, self._unpack_thread
-        )
-        return (threads, copies, hq, rq, hqa, rqa, locks, migs)
+        lo_bits = key & self._lo_mask
+        hi_bits = key >> self._w_lo
+        hi = self._dec_hi.get(hi_bits)
+        if hi is None:
+            if len(self._dec_hi) > _HALF_MEMO_MAX:
+                self._dec_hi.clear()
+            hi = self._dec_hi[hi_bits] = self._unpack_hi(hi_bits)
+            self._enc_hi.setdefault(hi, hi_bits)
+        lo = self._dec_lo.get(lo_bits)
+        if lo is None:
+            if len(self._dec_lo) > _HALF_MEMO_MAX:
+                self._dec_lo.clear()
+            lo = self._dec_lo[lo_bits] = self._unpack_lo(lo_bits)
+            self._enc_lo.setdefault(lo, lo_bits)
+        return hi + lo
 
     def canonicalize(self, state, perms):
         """Minimal ``(key, representative)`` over the orbit of ``state``.

@@ -11,18 +11,39 @@ This module reproduces that architecture at laptop scale with
 backends are provided:
 
 ``"process"``
-    Real worker processes in a **pipelined** schedule: the coordinator
-    routes work to state owners the moment it arrives, each owner
-    deduplicates against its local visited set, expands, partitions the
-    successors by owner *worker-side*, and sends them straight back for
-    routing. There is no per-level barrier — a fast partition keeps
-    expanding while a slow one catches up — and termination is detected
-    by outstanding-message counting: every work batch put on the wire
+    Real worker processes in a **pipelined** schedule with two
+    interchangeable transports (``transport="shm"|"queue"``, default
+    auto):
+
+    ``"shm"`` — the shared-memory ring data plane. Each ordered worker
+    pair owns a single-producer single-consumer ring buffer in
+    :mod:`multiprocessing.shared_memory` (:mod:`repro.lts.shmring`);
+    workers write fixed-width packed codec keys straight into the ring
+    of each successor's owner, gather adaptive wall-clock-targeted
+    quanta out of their inbound rings, and the coordinator is off the
+    steady-state path entirely — it carries only control traffic
+    (per-quantum acknowledgements with the counts and the recovery
+    ledger, relays for blocks a full ring rejected, membership changes,
+    termination). Termination is a double-scan balance check over the
+    ring counters plus the ack and inject ledgers.
+
+    ``"queue"`` — the original coordinator-routed pickled-queue
+    transport (and the fallback for tuple-shipping systems without a
+    codec): the coordinator routes work to state owners the moment it
+    arrives, each owner deduplicates against its local visited set,
+    expands, partitions the successors by owner *worker-side*, and
+    sends them straight back for routing. Termination is detected by
+    outstanding-message counting: every work batch put on the wire
     increments a counter, every completion message decrements it, and
     the sweep is finished exactly when the counter is zero and no
     routed states are pending. (With all traffic flowing through the
     coordinator, the counter is a degenerate—and exact—form of
     Mattern's credit scheme; no idle-token round is needed.)
+
+    Neither transport has a per-level barrier — a fast partition keeps
+    expanding while a slow one catches up — and both route ownership
+    through the same :func:`repro.lts.statehash.key_owner`, so the
+    explored LTS never depends on the transport.
 
 ``"inline"``
     The same partitioned algorithm run sequentially in-process in the
@@ -77,8 +98,10 @@ which is what the paper's Table 8 numbers require.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing as mp
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from queue import Empty
 from typing import Hashable
@@ -87,7 +110,14 @@ from repro.errors import ExplorationLimitError, WorkerFailureError
 from repro.lts.explore import TransitionSystem
 from repro.lts.faults import FaultPlan, WorkerFault, crash_process
 from repro.lts.lts import LTS
-from repro.lts.statehash import live_owner, mix64
+from repro.lts.shmring import (
+    DEFAULT_RING_BYTES,
+    AdaptiveBatch,
+    RingBuffer,
+    pack_keys,
+    unpack_keys,
+)
+from repro.lts.statehash import key_owner, live_owner
 from repro.obs.core import current as _current_obs
 
 #: states per work batch (packed keys are ~20 bytes, so a batch fits
@@ -102,6 +132,28 @@ _POLL = 0.25
 #: completion messages handled between opportunistic liveness checks,
 #: bounding crash detection latency while the outbox stays busy
 _CRASH_CHECK_EVERY = 64
+#: shm transport: wall-clock target for one expansion quantum (the
+#: adaptive batch controller sizes quanta to roughly this long; a
+#: parameter sweep put the knee at 10 ms — enough work per ack to
+#: amortise the control round trip without starving peers)
+_QUANTUM_TARGET_S = 0.01
+#: shm transport: adaptive quantum bounds
+_QUANTUM_LO = 32
+_QUANTUM_HI = 8192
+#: shm transport: longest idle-poll backoff of a starved worker (kept
+#: short — on an oversubscribed host a long sleep here serialises the
+#: pipeline, since the peer that would refill the ring runs next)
+_IDLE_BACKOFF_MAX = 0.002
+#: worker-process startup deadline (spawn barrier; generous — covers
+#: a cold ``fork`` + codec construction on a loaded machine)
+_SPAWN_DEADLINE = 60.0
+#: 64-bit mask for the worker-loop-inlined splitmix64 finaliser
+_M64 = (1 << 64) - 1
+#: shm transport: entry cap on the worker-local ship memo and
+#: shipped-key filter; both are pure caches whose clearing costs only
+#: repeated work (re-encodes, duplicate ships the consumer dedups), so
+#: capping them bounds worker memory without touching exactness
+_SHIP_CACHE_MAX = 200_000
 
 
 @dataclass
@@ -141,7 +193,21 @@ class DistributedStats:
         True when at least one worker died and the sweep nevertheless
         ran to its normal end on the survivors.
     seconds:
-        Wall-clock duration.
+        Wall-clock duration, worker spawn excluded (see ``spawn_s``).
+    spawn_s:
+        Seconds from starting the worker processes to the last worker's
+        hello message (``"process"`` backend). Reported separately so
+        throughput comparisons against in-process backends measure the
+        sweep, not ``fork``+interpreter warm-up — the fixed cost that
+        used to doom small-config speedup numbers.
+    transport:
+        ``"queue"`` or ``"shm"`` for the ``"process"`` backend,
+        ``"local"`` otherwise.
+    relayed_batches:
+        shm transport: successor blocks that could not be written to a
+        ring (full, or the destination was dead) and fell back to a
+        coordinator relay. A persistently high share means the rings
+        are undersized for the model.
     worker_succ_s / worker_expand_s:
         Summed worker-side seconds spent generating successors /
         expanding whole batches (dedup + successor generation). Filled
@@ -152,6 +218,11 @@ class DistributedStats:
         Coordinator-side seconds spent serialising batches onto worker
         inboxes / handling completion messages / blocked in timed
         outbox waits that expired. Instrumented sweeps only.
+    ring_put_s / ring_get_s:
+        shm transport, instrumented sweeps only: summed worker-side
+        seconds spent writing successor blocks into / gathering quanta
+        out of the shared-memory rings — the data-plane cost that
+        replaces the queue transport's pickling.
     """
 
     states: int = 0
@@ -165,30 +236,41 @@ class DistributedStats:
     redispatched_batches: int = 0
     recovered: bool = False
     seconds: float = 0.0
+    spawn_s: float = 0.0
+    transport: str = "local"
+    relayed_batches: int = 0
     worker_succ_s: float = 0.0
     worker_expand_s: float = 0.0
     coord_put_s: float = 0.0
     coord_handle_s: float = 0.0
     coord_idle_s: float = 0.0
+    ring_put_s: float = 0.0
+    ring_get_s: float = 0.0
 
     def imbalance(self) -> float:
-        """max/mean ratio of the partition sizes (1.0 = perfectly even)."""
-        if not self.per_worker_states or self.states == 0:
+        """max/mean ratio over partitions that actually held states.
+
+        Workers that died before owning anything (or were never routed
+        a state) are excluded from the mean: averaging their zeros in
+        understates the survivors' skew precisely after the recoveries
+        this metric is meant to diagnose. 1.0 = perfectly even.
+        """
+        held = [c for c in self.per_worker_states if c > 0]
+        if not held:
             return 1.0
-        mean = self.states / len(self.per_worker_states)
-        return max(self.per_worker_states) / mean if mean else 1.0
+        mean = sum(held) / len(held)
+        return max(held) / mean if mean else 1.0
 
 
 def _owner(state: Hashable, n: int) -> int:
     """The worker owning ``state`` (stable within one run).
 
-    ``state`` may equally be a packed codec key. The built-in hash is
-    routed through splitmix64 before the modulo: raw hashes of
-    small-int tuples (and of packed keys, which are plain ints) carry
-    strong low-bit structure that ``% n`` would fold into skewed
-    partitions.
+    ``state`` may equally be a packed codec key. Delegates to
+    :func:`repro.lts.statehash.key_owner` — the single routing function
+    shared by the queue and shm transports, so ownership never depends
+    on which transport carried the key.
     """
-    return mix64(hash(state)) % n
+    return key_owner(state, n)
 
 
 class _AckLedger:
@@ -201,17 +283,22 @@ class _AckLedger:
     union as a Python set would duplicate every worker's visited set at
     the coordinator and defeat the memory-scaling point of hash
     partitioning, so packed codec keys are instead appended to a
-    fixed-width byte buffer — roughly the key width per state, widened
-    in place the first time a larger key arrives — and only
-    materialised into a set on the (rare) crash path. Non-integer
-    states (tuple shipping) have no compact form and fall back to a
-    set.
+    fixed-width byte buffer — roughly the key width per state — and
+    only materialised into a set on the (rare) crash path. The slot
+    width is seeded from the system codec's key byte-width when the
+    caller knows it (every real key used to trigger an O(buffer)
+    pure-Python ``_rewiden`` away from the old width-1 default on its
+    first arrival, mid-sweep); it still widens in place if an even
+    larger key arrives. Non-integer states (tuple shipping) have no
+    compact form and fall back to a set.
     """
 
     __slots__ = ("_width", "_buf", "_set")
 
-    def __init__(self):
-        self._width = 1
+    def __init__(self, width: int = 1):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self._width = width
         self._buf = bytearray()
         self._set: set | None = None
 
@@ -244,6 +331,25 @@ class _AckLedger:
                 self._set = self.to_set()
                 self._buf = bytearray()
         self._set.update(keys)
+
+    def add_bytes(self, data: bytes, width: int) -> None:
+        """Record an already-packed block of ``width``-byte keys.
+
+        The shm transport's acks carry their newly expanded keys in
+        exactly the ledger's wire format (little-endian fixed width),
+        so a matching width is a straight buffer append — no per-key
+        Python ints at all on the steady-state path.
+        """
+        if self._set is not None:
+            self._set.update(unpack_keys(data, width))
+            return
+        if width != self._width:
+            if width > self._width:
+                self._rewiden(width)
+            else:
+                self._add_packed(unpack_keys(data, width))
+                return
+        self._buf += data
 
     def to_set(self) -> set:
         """The acknowledged-key union as a set (the crash path)."""
@@ -319,6 +425,46 @@ def _partition(states, n_workers, encode=None):
     return buckets
 
 
+def _coalesce(queue, depth, bucket, batch_size) -> None:
+    """Append ``bucket`` to a pending ``deque``, merging into the tail.
+
+    Trickling successor buckets of the same depth are merged into the
+    tail entry (in place — the entry's item list is mutable) until it
+    reaches a full batch, so dispatches carry full batches instead of
+    bucket-sized fragments. The tail list is extended in place and the
+    deque appended at the ends only: both O(len(bucket)), where the old
+    list-based queue rebuilt the whole tail entry per merge
+    (``queue[-1][1] + bucket``) and went quadratic on wide frontiers.
+    ``bucket`` must be a list the caller cedes ownership of.
+    """
+    if queue:
+        tail = queue[-1]
+        if tail[0] == depth and len(tail[1]) < batch_size:
+            tail[1].extend(bucket)
+            return
+    queue.append((depth, bucket))
+
+
+def _take_chunk(queue, batch_size):
+    """Pop up to ``batch_size`` items off the head entry of a pending
+    ``deque``; returns ``(depth, chunk)``.
+
+    An oversized head entry is split from its *end* (``del
+    batch[-batch_size:]``), which is O(chunk) where the old
+    ``queue.pop(0)`` / front-slice pattern copied the whole remainder
+    per dispatch. Within one depth the frontier is an unordered set, so
+    taking from either end explores the same LTS.
+    """
+    depth, batch = queue[0]
+    if len(batch) > batch_size:
+        chunk = batch[-batch_size:]
+        del batch[-batch_size:]
+    else:
+        chunk = batch
+        queue.popleft()
+    return depth, chunk
+
+
 def _worker_main(
     system, n_workers, wid, inbox, outbox, collect, packed,
     fault: WorkerFault | None = None,
@@ -341,6 +487,10 @@ def _worker_main(
     encode = codec.encode if codec else None
     visited: set = set()
     answered = 0
+    # the spawn barrier: the coordinator times worker start-up
+    # (stats.spawn_s) from process start to the last hello, and only
+    # then starts the sweep clock — see bench_explore's spawn split
+    outbox.put(("hello", wid))
     while True:
         msg = inbox.get()
         if (
@@ -489,6 +639,7 @@ def _process_sweep(
         )
         for w in range(n_workers)
     ]
+    t_spawn0 = time.perf_counter()
     for p in workers:
         p.start()
 
@@ -505,11 +656,13 @@ def _process_sweep(
     #: coordinator-side reconstruction of each worker's visited set,
     #: kept compact (see :class:`_AckLedger`) or not at all
     acked: list[_AckLedger] | None = (
-        [_AckLedger() for _ in range(n_workers)] if fault_tolerant else None
+        [_AckLedger(width=codec.n_bytes if codec is not None else 1)
+         for _ in range(n_workers)]
+        if fault_tolerant else None
     )
     #: per worker, seq -> (depth, chunk) for every unacknowledged batch
     ledger: list[dict[int, tuple[int, list]]] = [{} for _ in range(n_workers)]
-    pending: list[list] = [[] for _ in range(n_workers)]
+    pending: list[deque] = [deque() for _ in range(n_workers)]
     pending[_owner(init_item, n_workers)].append((0, [init_item]))
     inflight = [0] * n_workers
     outstanding = 0
@@ -531,13 +684,7 @@ def _process_sweep(
     coord_idle_s = 0.0
 
     def _push(w, depth, bucket):
-        queue = pending[w]
-        # coalesce with the tail entry of the same depth so trickling
-        # successor buckets form full batches
-        if queue and queue[-1][0] == depth and len(queue[-1][1]) < batch_size:
-            queue[-1] = (depth, queue[-1][1] + bucket)
-        else:
-            queue.append((depth, bucket))
+        _coalesce(pending[w], depth, bucket, batch_size)
 
     def _route(orig_owner, depth, bucket):
         # final routing decision: workers partition over the original
@@ -602,7 +749,7 @@ def _process_sweep(
         ledger[w].clear()
         inflight[w] = 0
         lost.extend(pending[w])
-        pending[w] = []
+        pending[w] = deque()
         if not live:
             _fill_stats()
             raise WorkerFailureError(
@@ -684,17 +831,35 @@ def _process_sweep(
 
     since_check = 0
     try:
+        # spawn barrier: every worker says hello before any dispatch,
+        # so ``stats.spawn_s`` isolates fork + interpreter warm-up from
+        # the sweep proper (bench reports the two separately)
+        awaiting_hello = set(live)
+        hello_deadline = time.monotonic() + _SPAWN_DEADLINE
+        while awaiting_hello:
+            try:
+                msg = outbox.get(timeout=poll)
+            except Empty:
+                for w in [w for w in live
+                          if workers[w].exitcode is not None]:
+                    awaiting_hello.discard(w)
+                    _reap(w)
+                if time.monotonic() > hello_deadline:  # pragma: no cover
+                    _fill_stats()
+                    raise WorkerFailureError(
+                        f"workers {sorted(awaiting_hello)} never said "
+                        f"hello within {_SPAWN_DEADLINE}s",
+                        stats=stats,
+                    )
+                continue
+            if msg[0] == "hello":
+                awaiting_hello.discard(msg[1])
+        stats.spawn_s = round(time.perf_counter() - t_spawn0, 6)
         while not limit_hit:
             for w in live:
                 queue = pending[w]
                 while queue and inflight[w] < _WINDOW:
-                    depth, batch = queue[0]
-                    if len(batch) > batch_size:
-                        chunk, rest = batch[:batch_size], batch[batch_size:]
-                        queue[0] = (depth, rest)
-                    else:
-                        chunk = batch
-                        queue.pop(0)
+                    depth, chunk = _take_chunk(queue, batch_size)
                     ledger[w][next_seq] = (depth, chunk)
                     if recording:
                         t_put = time.perf_counter()
@@ -769,6 +934,748 @@ def _process_sweep(
     return transitions, init_item
 
 
+def _shm_worker_main(
+    system, n_workers, wid, ctrl_in, ctrl_out, rings_in, rings_out,
+    collect, key_width, batch_size,
+    fault: WorkerFault | None = None,
+    instrument: bool = False,
+    fault_tolerant: bool = True,
+):
+    """Worker loop of the shared-memory transport.
+
+    The data plane is the ring matrix: ``rings_in[p]`` carries packed
+    keys from producer ``p`` to this worker, ``rings_out[q]`` from this
+    worker to owner ``q`` (including the self-ring ``wid -> wid``, so
+    *every* expansion input is recoverable from shared memory after a
+    crash). The control plane is a queue pair with the coordinator:
+    inbound ``("inject", seq, depth, payload)`` blocks (seeding, relays
+    and crash re-dispatches), ``("dead", w)`` membership updates and
+    ``None`` (stop); outbound ``("hello", wid)``, ``("relay", wid, dst,
+    depth, payload)`` for blocks a ring would not take, ``("dead_ack",
+    wid, w)``, one ``("ack", ...)`` per expansion quantum and a final
+    ``("bye", wid, n_visited)``.
+
+    Exactness contract (mirrors the queue transport's
+    batch-acknowledgement invariant): a quantum's states and
+    transitions are counted *iff* its ack reaches the coordinator, and
+    the ring read counters advance only *after* the ack has been handed
+    to the control queue — so everything an unacked quantum consumed is
+    still physically in this worker's inbound rings (or in the
+    coordinator's inject ledger) when the worker dies, and
+    already-acked keys travel on the ack itself into the coordinator's
+    :class:`_AckLedger` for duplicate suppression.
+
+    Quantum sizing is adaptive (:class:`~repro.lts.shmring.AdaptiveBatch`):
+    each quantum's measured expansion rate retargets the next gather to
+    ``_QUANTUM_TARGET_S`` of work, replacing the queue transport's
+    fixed batch size that forced thousands of tiny round trips on fast
+    models.
+    """
+    gc.disable()  # allocation-heavy sweep loop; the process is short-lived
+    codec = system.codec()
+    decode = codec.decode
+    encode = codec.encode
+    succ_fn = getattr(system, "successors_fast", None) or system.successors
+    visited: set = set()
+    # -- worker-local shipping caches (speed only, never correctness) --
+    # ship_memo: successor state -> (owner, key). Successor events
+    # repeat heavily (the same state is generated along many
+    # transitions), and one flat dict hit replaces the codec walk and
+    # the owner mix on every repeat; byte packing happens at ship time
+    # only, so chased keys never pay it.
+    ship_memo: dict = {}
+    # a lone worker owns every key: skip the owner mix per successor
+    single = n_workers == 1
+    # shipped: keys this worker already forwarded. A key's owner is a
+    # pure function of the key, so a second ship of the same key is a
+    # guaranteed duplicate at the same consumer — skip the transport
+    # entirely. Safe under crashes: recovery only ever relies on the
+    # first copy (ring drain + acked-key filtering), never on repeats.
+    shipped: set[int] = set()
+    # stash: self-owned key -> already-decoded state, filled at ship
+    # time and popped at consume time, skipping the decode for every
+    # state this worker both generated and owns.
+    stash: dict = {}
+    stash_pop = stash.pop
+    adapt = AdaptiveBatch(
+        initial=batch_size, lo=_QUANTUM_LO, hi=_QUANTUM_HI,
+        target_s=_QUANTUM_TARGET_S,
+    )
+    cursors = [r.rd_bytes for r in rings_in]
+    injects: deque = deque()
+    dead: set[int] = set()
+    stop = False
+    answered = 0
+    clock = time.perf_counter
+
+    def _ctrl(msg):
+        nonlocal stop
+        if msg is None:
+            stop = True
+        elif msg[0] == "inject":
+            injects.append((msg[1], msg[2], msg[3]))
+        elif msg[0] == "dead":
+            # after this answer the coordinator may drain msg[1]'s
+            # inbound rings, so never write to them again
+            dead.add(msg[1])
+            ctrl_out.put(("dead_ack", wid, msg[1]))
+
+    ctrl_out.put(("hello", wid))
+    backoff = 0.0005
+    while True:
+        while True:
+            try:
+                _ctrl(ctrl_in.get_nowait())
+            except Empty:
+                break
+        if stop:
+            ctrl_out.put(("bye", wid, len(visited)))
+            return
+
+        # -- gather one quantum (rings round-robin, then injects) ----
+        t_get = clock() if instrument else 0.0
+        target = adapt.size
+        quantum = []  # (depth, keys) per transport record
+        consumed = [0] * n_workers    # ring records taken, per producer
+        consumed_b = [0] * n_workers  # ring bytes taken (pads included)
+        inject_seqs = []
+        n_keys = 0
+        progressed = True
+        while n_keys < target and progressed:
+            progressed = False
+            for p in range(n_workers):
+                rec = rings_in[p].peek(cursors[p])
+                if rec is None:
+                    continue
+                depth, payload, nxt = rec
+                quantum.append((depth, unpack_keys(payload, key_width)))
+                consumed[p] += 1
+                consumed_b[p] += nxt - cursors[p]
+                cursors[p] = nxt
+                n_keys += len(payload) // key_width
+                progressed = True
+                if n_keys >= target:
+                    break
+        while injects and n_keys < target:
+            seq, depth, payload = injects.popleft()
+            quantum.append((depth, unpack_keys(payload, key_width)))
+            inject_seqs.append(seq)
+            n_keys += len(payload) // key_width
+        get_s = clock() - t_get if instrument else 0.0
+
+        if not quantum:
+            # starved: sleep on the control inbox (which is also where
+            # membership changes and stop arrive) with growing backoff
+            try:
+                _ctrl(ctrl_in.get(timeout=backoff))
+            except Empty:
+                backoff = min(backoff * 2.0, _IDLE_BACKOFF_MAX)
+            continue
+        backoff = 0.0005
+
+        # -- fault injection (mirrors the queue worker's semantics) --
+        if fault is not None:
+            if (
+                fault.kill_after is not None
+                and answered >= fault.kill_after
+            ):
+                crash_process(ctrl_out)
+            if fault.delay:
+                time.sleep(fault.delay)
+        succ = succ_fn
+        if fault is not None and fault.raise_at == answered:
+            succ = fault.raising_successors(wid)
+
+        # -- expand --------------------------------------------------
+        # Two passes: first every ring/inject key taken above
+        # (mandatory — their records are acked as consumed), then
+        # *chased* self-owned successors. Chasing is the transport's
+        # biggest saving: a successor this worker owns is expanded in
+        # the same quantum with its already-built state tuple in hand
+        # — no byte packing, no self-ring round trip, no decode — and
+        # still rides the quantum's ack (counted iff acked; its
+        # successors are flushed before the ack like any other).
+        # Chasing stops at twice the quantum target so flushes keep
+        # flowing to the other owners; leftovers spill to the
+        # self-ring exactly as before (with their decoded states
+        # stashed, so the spill costs no decode either). The expansion
+        # body is spelled out twice on purpose — an extra function
+        # call or per-key tuple here is a measurable slice of the
+        # per-state budget.
+        t0 = clock()
+        succ_s = 0.0
+        new_keys: list[int] = []
+        new_keys_append = new_keys.append
+        collected = []
+        n_trans = 0
+        n_dead = 0
+        max_d = 0
+        # per destination, per successor depth, a flat key block
+        out: list[dict[int, bytearray]] = [{} for _ in range(n_workers)]
+        memo_get = ship_memo.get
+        chase: deque = deque()
+        chase_append = chase.append
+        chase_pop = chase.popleft
+        chase_cap = 2 * target
+        visited_add = visited.add
+        shipped_add = shipped.add
+        for depth, keys in quantum:
+            if depth > max_d:
+                max_d = depth
+            d1 = depth + 1
+            for k in keys:
+                if k in visited:
+                    stash_pop(k, None)  # release a stale stash entry
+                    continue
+                visited_add(k)
+                new_keys_append(k)
+                state = stash_pop(k, None)
+                if state is None:
+                    state = decode(k)
+                if instrument:
+                    ts = clock()
+                    succs = list(succ(state))
+                    succ_s += clock() - ts
+                else:
+                    succs = succ(state)
+                    if type(succs) is not list:
+                        succs = list(succs)
+                n_trans += len(succs)
+                if not succs:
+                    n_dead += 1
+                for label, nxt in succs:
+                    rec = memo_get(nxt)
+                    if rec is None:
+                        nk = encode(nxt)
+                        if single:
+                            q = wid
+                        else:
+                            # inlined key_owner(nk, n_workers) — the
+                            # splitmix64 finaliser written out to skip
+                            # a function call per first-seen successor;
+                            # asserted equal in tests so routing stays
+                            # transport- and path-independent
+                            h = hash(nk) & _M64
+                            h = ((h ^ (h >> 30))
+                                 * 0xBF58476D1CE4E5B9) & _M64
+                            h = ((h ^ (h >> 27))
+                                 * 0x94D049BB133111EB) & _M64
+                            q = (h ^ (h >> 31)) % n_workers
+                        rec = ship_memo[nxt] = (q, nk)
+                    else:
+                        q, nk = rec
+                    if collect:
+                        collected.append((k, label, nk))
+                    if nk in shipped or nk in visited:
+                        continue  # provably a duplicate at the consumer
+                    shipped_add(nk)
+                    if q == wid:
+                        chase_append((d1, nk, nxt))  # expand locally
+                        continue
+                    ob = out[q]
+                    buf = ob.get(d1)
+                    if buf is None:
+                        buf = ob[d1] = bytearray()
+                    buf += nk.to_bytes(key_width, "little")
+        while chase and n_keys < chase_cap:
+            depth, k, state = chase_pop()
+            n_keys += 1
+            if k in visited:
+                continue  # shipped to us meanwhile, expanded above
+            visited_add(k)
+            new_keys_append(k)
+            if depth > max_d:
+                max_d = depth
+            d1 = depth + 1
+            if instrument:
+                ts = clock()
+                succs = list(succ(state))
+                succ_s += clock() - ts
+            else:
+                succs = succ(state)
+                if type(succs) is not list:
+                    succs = list(succs)
+            n_trans += len(succs)
+            if not succs:
+                n_dead += 1
+            for label, nxt in succs:
+                rec = memo_get(nxt)
+                if rec is None:
+                    nk = encode(nxt)
+                    if single:
+                        q = wid
+                    else:
+                        h = hash(nk) & _M64
+                        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+                        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _M64
+                        q = (h ^ (h >> 31)) % n_workers
+                    rec = ship_memo[nxt] = (q, nk)
+                else:
+                    q, nk = rec
+                if collect:
+                    collected.append((k, label, nk))
+                if nk in shipped or nk in visited:
+                    continue
+                shipped_add(nk)
+                if q == wid:
+                    chase_append((d1, nk, nxt))
+                    continue
+                ob = out[q]
+                buf = ob.get(d1)
+                if buf is None:
+                    buf = ob[d1] = bytearray()
+                buf += nk.to_bytes(key_width, "little")
+        # chase leftovers beyond the cap: spill to the self-ring
+        ob = out[wid]
+        for d1, nk, nxt in chase:
+            if nk in visited:
+                continue
+            stash[nk] = nxt
+            buf = ob.get(d1)
+            if buf is None:
+                buf = ob[d1] = bytearray()
+            buf += nk.to_bytes(key_width, "little")
+        expand_s = clock() - t0
+        if len(ship_memo) > _SHIP_CACHE_MAX:
+            ship_memo.clear()
+        if len(shipped) > _SHIP_CACHE_MAX:
+            shipped.clear()
+
+        # -- flush successor blocks straight to their owners ---------
+        t1 = clock() if instrument else 0.0
+        max_block = max(target, _QUANTUM_LO) * key_width
+        for q in range(n_workers):
+            per_depth = out[q]
+            if not per_depth:
+                continue
+            ring = None if q in dead else rings_out[q]
+            for d1, buf in per_depth.items():
+                for i in range(0, len(buf), max_block):
+                    block = bytes(buf[i: i + max_block])
+                    if ring is None or not ring.try_write(d1, block):
+                        # dead owner or full ring: control-plane detour
+                        ctrl_out.put(("relay", wid, q, d1, block))
+        put_s = clock() - t1 if instrument else 0.0
+
+        # -- acknowledge, then (and only then) release ring input ----
+        consumed_list = [
+            (p, consumed[p], consumed_b[p])
+            for p in range(n_workers)
+            if consumed[p]
+        ]
+        keys_blob = pack_keys(new_keys, key_width) if fault_tolerant else b""
+        ctrl_out.put((
+            "ack", wid, consumed_list, inject_seqs, keys_blob,
+            n_trans, n_dead, len(visited), collected, max_d,
+            round(succ_s, 6), round(expand_s, 6),
+            round(put_s, 6), round(get_s, 6),
+        ))
+        for p, recs, nbytes in consumed_list:
+            rings_in[p].commit(nbytes, recs)
+        answered += 1
+        adapt.update(n_keys, expand_s)
+
+
+def _shm_sweep(
+    system, n_workers, collect, max_states, stats,
+    faults: FaultPlan | None = None,
+    poll: float = _POLL,
+    batch_size: int = _BATCH,
+    fault_tolerant: bool = True,
+    ring_bytes: int = DEFAULT_RING_BYTES,
+    obs=None,
+):
+    """The pipelined sweep over the shared-memory ring transport.
+
+    Data flows owner-to-owner through the ``n_workers``-squared ring
+    matrix (see :mod:`repro.lts.shmring`); the coordinator handles only
+    control traffic — the per-quantum acks that carry the counts and
+    the recovery ledger, relays for blocks a ring would not take,
+    membership changes, and termination detection.
+
+    Termination is a shared-memory balance check instead of the queue
+    transport's outstanding-message count: the sweep is quiescent
+    exactly when (a) no crash recovery is mid-flight, (b) every
+    injected block has been acked, (c) every ring's write counters
+    equal its read counters, (d) per live worker the records its rings
+    say it consumed all appear in received acks, and (e) a second scan
+    sees identical counters. Any in-progress quantum violates one of
+    these: consumed-but-unacked records hold (d) (ring tails advance
+    only after the ack is queued, and an ack, once received, implies
+    the blocks it flushed were already in the rings — workers flush
+    before acking), unconsumed blocks hold (c), and un-acked injects
+    hold (b).
+
+    Crash recovery reuses the queue transport's invariants (counted iff
+    acked; rendezvous re-partitioning; the packed acked-key ledger) on
+    ring state: a dead worker's unconsumed ring input is physically
+    still there, so after a two-phase membership broadcast (every live
+    peer must ack ``("dead", w)`` before the coordinator reads rings it
+    might still be writing) the coordinator drains those rings, filters
+    the dead worker's acked keys out, and re-injects the rest to the
+    rendezvous survivors.
+    """
+    recording = obs is not None and obs.enabled
+    tracer = obs.tracer if recording else None
+    ctx = mp.get_context("fork")
+    codec = system.codec()
+    key_width = codec.n_bytes
+    init_item = codec.encode(system.initial_state())
+
+    #: rings[p][q] carries packed keys from producer p to consumer q
+    rings = [
+        [RingBuffer.create(ring_bytes) for _q in range(n_workers)]
+        for _p in range(n_workers)
+    ]
+    # real Queues on both directions: workers need a timed control get
+    # (idle backoff), the coordinator a timed outbox get (liveness)
+    ctrl_ins = [ctx.Queue() for _ in range(n_workers)]
+    ctrl_out = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_shm_worker_main,
+            args=(system, n_workers, w, ctrl_ins[w], ctrl_out,
+                  [rings[p][w] for p in range(n_workers)],
+                  [rings[w][q] for q in range(n_workers)],
+                  collect, key_width, batch_size,
+                  faults.for_worker(w) if faults is not None else None,
+                  recording, fault_tolerant),
+            daemon=True,
+        )
+        for w in range(n_workers)
+    ]
+    t_spawn0 = time.perf_counter()
+    for p in workers:
+        p.start()
+
+    live = list(range(n_workers))
+    dead: set[int] = set()
+    dead_visited: set = set()
+    acked: list[_AckLedger] | None = (
+        [_AckLedger(width=key_width) for _ in range(n_workers)]
+        if fault_tolerant else None
+    )
+    #: per worker, seq -> (depth, payload) for every unacked inject
+    inject_ledger: list[dict[int, tuple[int, bytes]]] = [
+        {} for _ in range(n_workers)
+    ]
+    #: ring records covered by received acks, per consumer
+    acked_recs = [0] * n_workers
+    #: dead worker -> live peers whose dead_ack is still outstanding
+    reaping: dict[int, set[int]] = {}
+    sizes = [0] * n_workers
+    n_batches = [0] * n_workers
+    transitions = []
+    n_trans = 0
+    n_dead = 0
+    max_depth = 0
+    total_quanta = 0
+    next_seq = 0
+    limit_hit = False
+    relayed = 0
+    t_sweep0 = time.perf_counter()
+    #: instrumented-only accumulators (see DistributedStats docstring)
+    worker_succ_s = 0.0
+    worker_expand_s = 0.0
+    ring_put_s = 0.0
+    ring_get_s = 0.0
+    coord_handle_s = 0.0
+    coord_idle_s = 0.0
+
+    def _fill_stats():
+        stats.states = sum(sizes)
+        stats.transitions = n_trans
+        stats.deadlocks = n_dead
+        stats.per_worker_states = sizes
+        stats.per_worker_batches = n_batches
+        stats.levels = max_depth + 1
+        stats.batches = total_quanta
+        stats.relayed_batches = relayed
+        stats.worker_succ_s = round(worker_succ_s, 6)
+        stats.worker_expand_s = round(worker_expand_s, 6)
+        stats.coord_handle_s = round(coord_handle_s, 6)
+        stats.coord_idle_s = round(coord_idle_s, 6)
+        stats.ring_put_s = round(ring_put_s, 6)
+        stats.ring_get_s = round(ring_get_s, 6)
+
+    def _inject(w, depth, payload):
+        nonlocal next_seq
+        inject_ledger[w][next_seq] = (depth, payload)
+        ctrl_ins[w].put(("inject", next_seq, depth, payload))
+        next_seq += 1
+
+    def _route_block(dst, depth, payload):
+        # control-plane routing (seeding, relays, recovery): blocks
+        # aimed at a live owner are injected whole; a dead owner's keys
+        # are filtered against its reconstructed visited set and
+        # re-partitioned over the survivors — rendezvous hashing, so
+        # the chosen survivor never migrates under further crashes
+        if dst not in dead:
+            _inject(dst, depth, payload)
+            return
+        regrouped: dict[int, list[int]] = {}
+        for k in unpack_keys(payload, key_width):
+            if k in dead_visited:
+                continue
+            regrouped.setdefault(live_owner(k, live), []).append(k)
+        for w, keys in regrouped.items():
+            _inject(w, depth, pack_keys(keys, key_width))
+
+    def _finalize_reap(w):
+        # every live peer confirmed it will no longer write to w's
+        # inbound rings, and dead producers stopped by definition, so
+        # the drain below cannot race a writer
+        del reaping[w]
+        n_redis = 0
+        for p in range(n_workers):
+            for depth, payload in rings[p][w].drain_unconsumed():
+                _route_block(w, depth, payload)
+                n_redis += 1
+        stats.redispatched_batches += n_redis
+        if tracer is not None:
+            tracer.emit("redispatch", worker=w, batches=n_redis)
+
+    def _reap(w):
+        live.remove(w)
+        dead.add(w)
+        stats.worker_deaths += 1
+        if tracer is not None:
+            tracer.emit(
+                "worker_death", worker=w, inflight=len(inject_ledger[w]),
+                pending=0, alive=len(live), visited=sizes[w],
+            )
+        if acked is None:
+            _fill_stats()
+            raise WorkerFailureError(
+                f"worker {w} died and fault_tolerant=False disabled the "
+                f"recovery ledger; partial results are on .stats",
+                stats=stats,
+            )
+        dead_visited.update(acked[w].to_set())
+        acked[w].clear()
+        # w owes no dead_acks any more; finalize reaps it was blocking
+        for peers in reaping.values():
+            peers.discard(w)
+        for dw in [dw for dw, peers in list(reaping.items()) if not peers]:
+            _finalize_reap(dw)
+        if not live:
+            _fill_stats()
+            raise WorkerFailureError(
+                f"all {n_workers} workers died before the sweep finished",
+                stats=stats,
+            )
+        # unacked injected blocks re-route immediately (coordinator
+        # memory); unacked ring input needs the two-phase drain below
+        lost = list(inject_ledger[w].values())
+        inject_ledger[w] = {}
+        stats.redispatched_batches += len(lost)
+        for depth, payload in lost:
+            _route_block(w, depth, payload)
+        reaping[w] = set(live)
+        for p in live:
+            ctrl_ins[p].put(("dead", w))
+
+    def _handle(msg):
+        nonlocal n_trans, n_dead, max_depth, limit_hit, relayed
+        nonlocal total_quanta, worker_succ_s, worker_expand_s
+        nonlocal ring_put_s, ring_get_s, coord_handle_s
+        kind = msg[0]
+        if kind == "ack":
+            t_handle = time.perf_counter() if recording else 0.0
+            (_tag, wid, consumed, inject_seqs, keys_blob, t, d, n_visited,
+             coll, max_d, succ_s, expand_s, put_s, get_s) = msg
+            if wid in dead:  # pragma: no cover - acks drain before reaps
+                return
+            for _p, recs, _nbytes in consumed:
+                acked_recs[wid] += recs
+            for seq in inject_seqs:
+                inject_ledger[wid].pop(seq, None)
+            if acked is not None and keys_blob:
+                acked[wid].add_bytes(keys_blob, key_width)
+            n_batches[wid] += 1
+            total_quanta += 1
+            sizes[wid] = n_visited
+            n_trans += t
+            n_dead += d
+            transitions.extend(coll)
+            if max_d > max_depth:
+                max_depth = max_d
+            if max_states is not None and sum(sizes) > max_states:
+                limit_hit = True
+            if recording:
+                worker_succ_s += succ_s
+                worker_expand_s += expand_s
+                ring_put_s += put_s
+                ring_get_s += get_s
+                tracer.emit(
+                    "ack", worker=wid, depth=max_d, transitions=t,
+                    visited=n_visited, succ_s=succ_s, expand_s=expand_s,
+                    ring_put_s=put_s, ring_get_s=get_s,
+                )
+                obs.metrics.counter(
+                    "repro_dist_batches_total", worker=wid
+                ).inc()
+                coord_handle_s += time.perf_counter() - t_handle
+        elif kind == "relay":
+            _tag, _wid, dst, depth, payload = msg
+            relayed += 1
+            _route_block(dst, depth, payload)
+        elif kind == "dead_ack":
+            peers = reaping.get(msg[2])
+            if peers is not None:
+                peers.discard(msg[1])
+                if not peers:
+                    _finalize_reap(msg[2])
+        # "hello" is consumed by the spawn barrier; late ones ignored
+
+    def _check_liveness():
+        crashed = [w for w in live if workers[w].exitcode is not None]
+        if not crashed:
+            return
+        # a worker's sends complete before it can show an exit code:
+        # drain the delivered acks first, they close the ledger the
+        # recovery filter relies on
+        while True:
+            try:
+                _handle(ctrl_out.get_nowait())
+            except Empty:
+                break
+        for w in crashed:
+            if w in live:
+                _reap(w)
+
+    def _scan():
+        return [
+            rings[p][q].counters()
+            for q in live for p in range(n_workers)
+        ]
+
+    def _quiescent():
+        if reaping:
+            return False
+        if any(inject_ledger[w] for w in live):
+            return False
+        snap = _scan()
+        if any(c[0] != c[1] or c[2] != c[3] for c in snap):
+            return False  # unconsumed (or torn mid-quantum) ring data
+        idx = 0
+        for q in live:
+            rd_total = 0
+            for _p in range(n_workers):
+                rd_total += snap[idx][3]
+                idx += 1
+            if rd_total != acked_recs[q]:
+                return False  # consumed records whose ack is in flight
+        return _scan() == snap  # nothing moved while we looked
+
+    def _sample():
+        tracer.emit(
+            "coord_sample", states=sum(sizes), alive=len(live),
+            inject_pending=[len(led) for led in inject_ledger],
+        )
+        elapsed = time.perf_counter() - t_sweep0
+        total = sum(sizes)
+        obs.progress.maybe(
+            states=total,
+            sps=total / elapsed if elapsed > 0 else 0.0,
+            workers=f"{len(live)}/{n_workers}",
+        )
+
+    since_check = 0
+    try:
+        # spawn barrier (see _process_sweep): isolates start-up cost
+        awaiting_hello = set(live)
+        hello_deadline = time.monotonic() + _SPAWN_DEADLINE
+        while awaiting_hello:
+            try:
+                msg = ctrl_out.get(timeout=poll)
+            except Empty:
+                for w in [w for w in live
+                          if workers[w].exitcode is not None]:
+                    awaiting_hello.discard(w)
+                    _reap(w)
+                if time.monotonic() > hello_deadline:  # pragma: no cover
+                    _fill_stats()
+                    raise WorkerFailureError(
+                        f"workers {sorted(awaiting_hello)} never said "
+                        f"hello within {_SPAWN_DEADLINE}s",
+                        stats=stats,
+                    )
+                continue
+            if msg[0] == "hello":
+                awaiting_hello.discard(msg[1])
+            else:
+                _handle(msg)
+        stats.spawn_s = round(time.perf_counter() - t_spawn0, 6)
+        # seed: the initial state is the one coordinator-routed data
+        # block of a crash-free sweep
+        _route_block(
+            _owner(init_item, n_workers), 0,
+            pack_keys([init_item], key_width),
+        )
+        while not limit_hit:
+            if _quiescent():
+                break
+            try:
+                if recording:
+                    t_get = time.perf_counter()
+                    try:
+                        msg = ctrl_out.get(timeout=poll)
+                    except Empty:
+                        coord_idle_s += time.perf_counter() - t_get
+                        raise
+                else:
+                    msg = ctrl_out.get(timeout=poll)
+            except Empty:
+                if recording:
+                    _sample()
+                _check_liveness()
+                continue
+            _handle(msg)
+            since_check += 1
+            if since_check >= _CRASH_CHECK_EVERY:
+                since_check = 0
+                if recording:
+                    _sample()
+                _check_liveness()
+    finally:
+        for w in live:
+            try:
+                ctrl_ins[w].put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        awaiting = set(live)
+        deadline = time.monotonic() + 10.0
+        while awaiting and time.monotonic() < deadline:
+            try:
+                msg = ctrl_out.get(timeout=0.25)
+            except Empty:
+                for w in list(awaiting):
+                    if workers[w].exitcode is not None:
+                        awaiting.discard(w)  # died during shutdown
+                continue
+            if msg[0] == "bye":
+                sizes[msg[1]] = msg[2]
+                awaiting.discard(msg[1])
+            # residual acks/relays of an aborted sweep are dropped
+        for p in workers:
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover
+                p.terminate()
+                p.join(timeout=5)
+        for row in rings:
+            for ring in row:
+                ring.close()
+                ring.unlink()
+    _fill_stats()
+    stats.recovered = stats.worker_deaths > 0
+    if limit_hit or (max_states is not None and stats.states > max_states):
+        raise ExplorationLimitError(
+            f"state limit {max_states} exceeded", stats=stats
+        )
+    return transitions, init_item
+
+
 def distributed_explore(
     system: TransitionSystem,
     *,
@@ -781,6 +1688,8 @@ def distributed_explore(
     poll_interval: float = _POLL,
     batch_size: int | None = None,
     fault_tolerant: bool = True,
+    transport: str | None = None,
+    ring_bytes: int = DEFAULT_RING_BYTES,
     certificate=None,
     obs=None,
 ) -> tuple[LTS | None, DistributedStats]:
@@ -818,6 +1727,22 @@ def distributed_explore(
     batch_size:
         States per work batch (``"process"`` backend; default 256).
         Tests shrink it to force many batches on small systems.
+    transport:
+        ``"process"`` backend: how states travel between workers.
+        ``"shm"`` is the shared-memory ring data plane — workers
+        forward packed keys directly to their owners and the
+        coordinator only carries control traffic — and needs a system
+        with a ``codec()`` (packed keys) plus the ``fork`` start
+        method. ``"queue"`` is the original coordinator-routed pickled
+        transport. ``None``/``"auto"`` (default) picks ``"shm"``
+        whenever its requirements hold, ``"queue"`` otherwise. Both
+        transports share routing (:func:`~repro.lts.statehash.key_owner`),
+        recovery semantics and the fault-injection harness.
+    ring_bytes:
+        Data capacity of each shm ring (one per ordered worker pair;
+        default 1 MiB). Blocks that do not fit fall back to
+        coordinator relays (``stats.relayed_batches``), so undersizing
+        costs throughput, never correctness.
     fault_tolerant:
         ``"process"`` backend: keep the acknowledged-key ledger that
         makes crash recovery exact. The ledger is compact — roughly one
@@ -875,6 +1800,22 @@ def distributed_explore(
         packed = getattr(system, "codec", None) is not None
     elif packed and getattr(system, "codec", None) is None:
         raise ValueError("packed=True needs a system with a codec()")
+    fork_ok = "fork" in mp.get_all_start_methods()
+    if transport in (None, "auto"):
+        transport = "shm" if (packed and fork_ok) else "queue"
+    elif transport == "shm":
+        if not packed:
+            raise ValueError(
+                "transport='shm' ships packed codec keys and needs a "
+                "system with a codec() (and packed not disabled)"
+            )
+        if not fork_ok:  # pragma: no cover - all POSIX dev targets fork
+            raise ValueError(
+                "transport='shm' needs the 'fork' start method (workers "
+                "inherit the shared-memory rings)"
+            )
+    elif transport != "queue":
+        raise ValueError(f"unknown transport {transport!r}")
     if obs is None:
         obs = _current_obs()
     recording = obs.enabled
@@ -882,6 +1823,7 @@ def distributed_explore(
         obs.tracer.emit(
             "sweep_start", backend=f"distributed-{backend}",
             n_workers=n_workers, packed=packed,
+            transport=transport if backend == "process" else "local",
             batch_size=batch_size or _BATCH,
             fault_tolerant=fault_tolerant, max_states=max_states,
         )
@@ -901,6 +1843,9 @@ def distributed_explore(
             states_per_second=round(
                 stats.states / stats.seconds if stats.seconds > 0 else 0.0, 1
             ),
+            transport=stats.transport,
+            spawn_s=stats.spawn_s,
+            relayed_batches=stats.relayed_batches,
             worker_deaths=stats.worker_deaths,
             redispatched_batches=stats.redispatched_batches,
             recovered=stats.recovered,
@@ -909,6 +1854,8 @@ def distributed_explore(
             coord_put_s=stats.coord_put_s,
             coord_handle_s=stats.coord_handle_s,
             coord_idle_s=stats.coord_idle_s,
+            ring_put_s=stats.ring_put_s,
+            ring_get_s=stats.ring_get_s,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend=f"distributed-{backend}",
@@ -930,11 +1877,22 @@ def distributed_explore(
             m.gauge("repro_dist_worker_states", worker=w).set(n_states)
 
     stats = DistributedStats()
+    if backend == "process":
+        stats.transport = transport
     t0 = time.perf_counter()
     try:
         if backend == "inline":
             transitions, init_item = _inline_sweep(
                 system, n_workers, collect, max_states, stats, packed,
+                obs=obs,
+            )
+        elif transport == "shm":
+            transitions, init_item = _shm_sweep(
+                system, n_workers, collect, max_states, stats,
+                faults=faults, poll=poll_interval,
+                batch_size=batch_size or _BATCH,
+                fault_tolerant=fault_tolerant,
+                ring_bytes=ring_bytes,
                 obs=obs,
             )
         else:

@@ -25,7 +25,12 @@ A :class:`FaultPlan` names, per worker, one of three misbehaviours:
 Plans are wired through ``distributed_explore(faults=...)`` and the
 ``repro bench --inject-fault`` flag; recovery is observable through
 ``DistributedStats.worker_deaths`` / ``redispatched_batches`` /
-``recovered``.
+``recovered``. Injection is transport-independent: the same plans
+fire inside the queue-transport workers and the shared-memory ring
+workers (where ``kill``/``raise`` count expansion *quanta* instead of
+fixed-size batches), and recovery must reproduce exact serial totals
+over both data planes (``tests/lts/test_faults.py``,
+``tests/lts/test_shm_transport.py``).
 """
 
 from __future__ import annotations

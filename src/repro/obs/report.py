@@ -38,8 +38,13 @@ def phase_breakdown(events: list[dict]) -> dict:
             ws = e.get("worker_succ_s", 0.0)
             succ += ws
             dedup += max(e.get("worker_expand_s", 0.0) - ws, 0.0)
-            transport += e.get("coord_put_s", 0.0) + e.get(
-                "coord_handle_s", 0.0
+            # queue transport: coordinator routing; shm transport:
+            # ring writes/reads (workers) + the control-plane handling
+            transport += (
+                e.get("coord_put_s", 0.0)
+                + e.get("coord_handle_s", 0.0)
+                + e.get("ring_put_s", 0.0)
+                + e.get("ring_get_s", 0.0)
             )
     return {
         "successors_s": round(succ, 6),

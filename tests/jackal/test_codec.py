@@ -51,6 +51,38 @@ def test_roundtrip_over_reachable_states(cfg, variant):
     assert len(set(keys)) == len(states)
 
 
+def test_cold_decode_matches_warm_encode():
+    """The half memos must never be load-bearing: a codec that has
+    decoded nothing (cold caches) must invert keys produced by another
+    instance, and re-encoding its decodes must reproduce the keys."""
+    cfg = Config(threads_per_processor=(1, 1), rounds=1, with_probes=False)
+    model = JackalModel(cfg)
+    warm = model.codec()
+    cold = StateCodec(JackalModel(cfg))
+    states = _sample_states(model, cap=1500)
+    for s in states:
+        k = warm.encode(s)
+        assert cold.decode(k) == s
+        assert cold.encode(cold.decode(k)) == k
+
+
+def test_half_memo_cap_only_costs_rework():
+    """Clearing the split-half memo caches mid-stream must not change
+    any key or decode — the caches are pure."""
+    cfg = Config(threads_per_processor=(1, 1), rounds=1, with_probes=False)
+    model = JackalModel(cfg)
+    codec = model.codec()
+    states = _sample_states(model, cap=300)
+    keys = [codec.encode(s) for s in states]
+    codec._enc_hi.clear()
+    codec._enc_lo.clear()
+    codec._dec_hi.clear()
+    codec._dec_lo.clear()
+    assert [codec.encode(s) for s in states] == keys
+    for s, k in zip(states, keys):
+        assert codec.decode(k) == s
+
+
 def test_violation_is_key_zero():
     codec = JackalModel(Config(rounds=1)).codec()
     assert codec.encode(VIOLATION) == 0

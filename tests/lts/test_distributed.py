@@ -147,6 +147,20 @@ def test_imbalance_metric():
     assert DistributedStats().imbalance() == 1.0
 
 
+def test_imbalance_excludes_workers_that_never_held_states():
+    """Regression: a worker that crashed before holding any states must
+    not dilute the mean — [100, 0, 50] is a 1.33 skew over the two
+    holders, not 2.0 over three partitions."""
+    from repro.lts.distributed import DistributedStats
+
+    s = DistributedStats(
+        states=150, per_worker_states=[100, 0, 50], worker_deaths=1
+    )
+    assert s.imbalance() == pytest.approx(100 / 75)
+    # all-dead edge case: no holders, no skew to report
+    assert DistributedStats(per_worker_states=[0, 0]).imbalance() == 1.0
+
+
 def _partition_imbalance(keys, n, owner_of):
     counts = [0] * n
     for k in keys:

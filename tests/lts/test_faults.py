@@ -93,6 +93,40 @@ def test_ack_ledger_packs_ints_and_rewidens():
     assert led.to_set() == set()
 
 
+def test_ack_ledger_seeded_width_avoids_midsweep_rewiden():
+    """Regression: the ledger used to start at width 1, so the first
+    real packed key triggered an O(buffer) pure-Python ``_rewiden``
+    mid-sweep. Seeded with the codec's byte width, ordinary keys append
+    at the seeded width from the first batch on."""
+    from repro.lts.distributed import _AckLedger
+
+    led = _AckLedger(width=4)
+    led.add([1, 2**31 - 1])                 # both fit the seeded width
+    assert led._width == 4                  # no narrowing, no widening
+    assert len(led._buf) == 8
+    assert led.to_set() == {1, 2**31 - 1}
+    # a larger key still widens in place, exactly once
+    led.add([2**40])
+    assert led._width == 6
+    assert led.to_set() == {1, 2**31 - 1, 2**40}
+    with pytest.raises(ValueError):
+        _AckLedger(width=0)
+
+
+def test_ack_ledger_add_bytes_matches_codec_wire_format():
+    from repro.lts.distributed import _AckLedger
+    from repro.lts.shmring import pack_keys
+
+    led = _AckLedger(width=4)
+    led.add_bytes(pack_keys([5, 1 << 24], 4), 4)  # straight append
+    assert led.to_set() == {5, 1 << 24}
+    led.add_bytes(pack_keys([1 << 40], 6), 6)     # wider block rewidens
+    assert led._width == 6
+    assert led.to_set() == {5, 1 << 24, 1 << 40}
+    led.add_bytes(pack_keys([7], 2), 2)           # narrower re-packs
+    assert led.to_set() == {5, 1 << 24, 1 << 40, 7}
+
+
 def test_ack_ledger_falls_back_to_sets_for_tuples():
     from repro.lts.distributed import _AckLedger
 

@@ -1,0 +1,381 @@
+"""Tests for the shared-memory ring transport.
+
+Three layers: the SPSC ring primitive and the key packing helpers
+(:mod:`repro.lts.shmring`), the adaptive quantum controller, and the
+full shm-transport sweep — which must explore exactly the same LTS as
+the queue transport and the serial reference, with and without injected
+worker faults, because a transport that changes counts is not a
+transport but a bug.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jackal import Config, JackalModel
+from repro.lts.distributed import _coalesce, _take_chunk, distributed_explore
+from repro.lts.explore import explore
+from repro.lts.faults import FaultPlan
+from repro.lts.reduction import minimize_strong
+from repro.lts.shmring import (
+    AdaptiveBatch,
+    RingBuffer,
+    pack_keys,
+    unpack_keys,
+)
+from repro.lts.statehash import key_owner
+
+
+class Diamond:
+    """A diamond lattice of given width — branches recombine."""
+
+    def __init__(self, width=5):
+        self.width = width
+
+    def initial_state(self):
+        return (0, 0)
+
+    def successors(self, s):
+        level, pos = s
+        if level >= self.width:
+            return []
+        return [("l", (level + 1, pos)), ("r", (level + 1, pos + 1))]
+
+
+def _jackal(tpp):
+    return JackalModel(
+        Config(threads_per_processor=tpp, rounds=1, with_probes=False)
+    )
+
+
+# -- RingBuffer -------------------------------------------------------------
+
+
+def test_ring_roundtrip_and_counters():
+    ring = RingBuffer.create(256)
+    try:
+        assert ring.try_write(3, b"abc")
+        assert ring.try_write(4, b"defg")
+        assert ring.counters()[2] == 2  # wr_recs
+        depth, payload, cur = ring.peek(ring.rd_bytes)
+        assert (depth, payload) == (3, b"abc")
+        depth, payload, cur2 = ring.peek(cur)
+        assert (depth, payload) == (4, b"defg")
+        assert ring.peek(cur2) is None
+        ring.commit(cur2 - ring.rd_bytes, 2)
+        assert ring.rd_bytes == ring.wr_bytes
+        assert ring.rd_recs == 2
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_wraps_without_corruption():
+    ring = RingBuffer.create(64)
+    try:
+        # payloads sized so records straddle the wrap point repeatedly
+        for i in range(200):
+            payload = bytes([i % 251]) * (7 + i % 11)
+            assert ring.try_write(i % 9, payload)
+            rec = ring.peek(ring.rd_bytes)
+            assert rec is not None
+            depth, got, cur = rec
+            assert depth == i % 9
+            assert got == payload
+            ring.commit(cur - ring.rd_bytes, 1)
+        assert ring.rd_recs == 200
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_rejects_when_full_and_oversized():
+    ring = RingBuffer.create(64)
+    try:
+        # never too big for an empty ring, but fills up un-consumed
+        wrote = 0
+        while ring.try_write(0, b"x" * 10):
+            wrote += 1
+        assert wrote >= 2
+        assert not ring.try_write(0, b"x" * 10)
+        # a payload that cannot fit even in an empty ring is rejected
+        assert not ring.try_write(0, b"y" * 100)
+        # consuming frees space again
+        depth, payload, cur = ring.peek(ring.rd_bytes)
+        ring.commit(cur - ring.rd_bytes, 1)
+        assert ring.try_write(1, b"z" * 10)
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_drain_unconsumed_recovers_pending_records():
+    ring = RingBuffer.create(256)
+    try:
+        for i in range(3):
+            assert ring.try_write(i, bytes([i]) * 4)
+        # consume (peek + commit) only the first record
+        _depth, _payload, cur = ring.peek(ring.rd_bytes)
+        ring.commit(cur - ring.rd_bytes, 1)
+        drained = ring.drain_unconsumed()
+        assert drained == [(1, b"\x01" * 4), (2, b"\x02" * 4)]
+        # the drain marks everything consumed
+        assert ring.rd_bytes == ring.wr_bytes
+        assert ring.drain_unconsumed() == []
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_capacity_validation():
+    with pytest.raises(ValueError):
+        RingBuffer.create(8)
+
+
+def test_pack_unpack_keys_roundtrip():
+    keys = [0, 1, 255, 256, 2**31, 2**64 - 1]
+    blob = pack_keys(keys, 9)
+    assert len(blob) == 9 * len(keys)
+    assert unpack_keys(blob, 9) == keys
+
+
+# -- AdaptiveBatch ----------------------------------------------------------
+
+
+def test_adaptive_batch_validation():
+    with pytest.raises(ValueError):
+        AdaptiveBatch(lo=0)
+    with pytest.raises(ValueError):
+        AdaptiveBatch(lo=10, hi=5)
+    with pytest.raises(ValueError):
+        AdaptiveBatch(target_s=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveBatch(alpha=0.0)
+
+
+def test_adaptive_batch_converges_under_constant_rate():
+    ab = AdaptiveBatch(initial=256, lo=32, hi=8192, target_s=0.01)
+    # constant 50k keys/s: the EMA converges to rate * target = 500
+    for _ in range(40):
+        size = ab.update(500, 0.01)
+    assert size == 500
+    # degenerate observations leave the estimate untouched
+    assert ab.update(0, 0.01) == 500
+    assert ab.update(500, 0.0) == 500
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.floats(
+                min_value=0.0, max_value=10.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        max_size=50,
+    )
+)
+def test_adaptive_batch_stays_within_bounds(observations):
+    ab = AdaptiveBatch(initial=256, lo=32, hi=8192, target_s=0.004)
+    for n_keys, seconds in observations:
+        size = ab.update(n_keys, seconds)
+        assert 32 <= size <= 8192
+        assert ab.size == size
+
+
+# -- owner routing ----------------------------------------------------------
+
+
+def test_worker_inlined_owner_mix_matches_key_owner():
+    # the shm worker inlines the splitmix64 finaliser of key_owner();
+    # the two must agree for every key or partitions would depend on
+    # the code path that routed the state
+    m64 = (1 << 64) - 1
+    for n_workers in (1, 2, 3, 7):
+        for key in list(range(64)) + [2**31 - 1, 2**64 - 1, 2**199 + 17]:
+            h = hash(key) & m64
+            h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & m64
+            h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & m64
+            inlined = ((h ^ (h >> 31))) % n_workers
+            assert inlined == key_owner(key, n_workers)
+
+
+# -- dispatch-queue helpers (regression: O(n) list ops) ---------------------
+
+
+def test_coalesce_merges_and_take_chunk_splits():
+    from collections import deque
+
+    q: deque = deque()
+    _coalesce(q, 0, [1, 2], batch_size=4)
+    _coalesce(q, 0, [3], batch_size=4)          # merges into the tail
+    assert list(q) == [(0, [1, 2, 3])]
+    _coalesce(q, 1, [4], batch_size=4)          # new depth: new entry
+    _coalesce(q, 1, [5, 6, 7, 8], batch_size=4)
+    _coalesce(q, 1, [9], batch_size=4)          # tail full: new entry
+    assert len(q) == 3
+    depth, chunk = _take_chunk(q, 2)
+    assert depth == 0 and chunk == [2, 3]       # oversize head splits
+    depth, chunk = _take_chunk(q, 2)
+    assert depth == 0 and chunk == [1]
+    seen = []
+    while q:
+        depth, chunk = _take_chunk(q, 100)
+        seen.append((depth, chunk))
+    assert seen == [(1, [4, 5, 6, 7, 8]), (1, [9])]
+
+
+def test_dispatch_queue_is_not_quadratic_on_wide_frontiers():
+    # regression for the old list-based pending queue: `queue[-1][1] +
+    # bucket` rebuilt the tail per merge and `queue.pop(0)` copied the
+    # remainder per dispatch — O(n^2) over a wide frontier. The deque +
+    # in-place-extend version drains 200k items in linear time; the old
+    # shape took multiple seconds on this workload.
+    import time
+    from collections import deque
+
+    q: deque = deque()
+    t0 = time.perf_counter()
+    for i in range(2000):
+        _coalesce(q, 0, list(range(100)), batch_size=256)
+    drained = 0
+    while q:
+        _depth, chunk = _take_chunk(q, 256)
+        drained += len(chunk)
+    elapsed = time.perf_counter() - t0
+    assert drained == 200_000
+    assert elapsed < 1.0, f"dispatch drain took {elapsed:.2f}s"
+
+
+# -- backend equivalence: shm vs queue vs serial ----------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("transport", ["queue", "shm"])
+def test_transport_matches_serial_on_jackal_config1(transport):
+    model = _jackal((1, 1))
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", transport=transport,
+        batch_size=64,
+    )
+    assert stats.transport == transport
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+    assert sum(stats.per_worker_states) == stats.states
+
+
+@pytest.mark.slow
+def test_transports_match_serial_on_jackal_config2():
+    model = _jackal((2, 1))
+    exact = explore(model)
+    for transport in ("queue", "shm"):
+        _lts, stats = distributed_explore(
+            model, n_workers=2, backend="process", transport=transport,
+        )
+        assert (stats.states, stats.transitions, stats.deadlocks) == (
+            exact.n_states,
+            exact.n_transitions,
+            len(exact.deadlock_states()),
+        )
+
+
+@pytest.mark.slow
+def test_shm_single_worker_matches_serial():
+    # the machine-sized pool on a single-CPU host: one pipelined worker
+    model = _jackal((1, 1))
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=1, backend="process", transport="shm",
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+
+
+@pytest.mark.slow
+def test_shm_collect_builds_equivalent_lts():
+    model = _jackal((1, 1))
+    exact = explore(model)
+    lts, _stats = distributed_explore(
+        model, n_workers=2, backend="process", transport="shm",
+        collect=True, batch_size=64,
+    )
+    assert lts.n_states == exact.n_states
+    assert lts.n_transitions == exact.n_transitions
+    # BFS renumbering may differ; compare modulo strong bisimulation
+    assert minimize_strong(lts) == minimize_strong(exact)
+
+
+@pytest.mark.slow
+def test_shm_spawn_time_reported_separately():
+    model = _jackal((1, 1))
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", transport="shm",
+    )
+    assert stats.spawn_s > 0.0
+    assert stats.spawn_s < stats.seconds
+
+
+def test_transport_validation():
+    with pytest.raises(ValueError):
+        distributed_explore(Diamond(3), transport="carrier-pigeon")
+    # shm ships packed codec keys: a codec-less system must be refused
+    with pytest.raises(ValueError):
+        distributed_explore(Diamond(3), transport="shm")
+    # ... and auto falls back to the queue transport for it
+    _lts, stats = distributed_explore(
+        Diamond(3), n_workers=2, backend="inline"
+    )
+    assert stats.states == explore(Diamond(3)).n_states
+
+
+# -- fault injection over the shm transport ---------------------------------
+
+
+@pytest.mark.slow
+def test_shm_kill_recovers_exact_counts():
+    model = _jackal((1, 1))
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", transport="shm",
+        faults=FaultPlan.parse("kill:1@2"),
+        batch_size=32, poll_interval=0.05,
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.deadlocks == len(exact.deadlock_states())
+    assert stats.worker_deaths == 1
+    assert stats.recovered
+
+
+@pytest.mark.slow
+def test_shm_raise_recovers_exact_counts():
+    model = _jackal((1, 1))
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", transport="shm",
+        faults=FaultPlan.parse("raise:0@2"),
+        batch_size=32, poll_interval=0.05,
+    )
+    assert stats.states == exact.n_states
+    assert stats.transitions == exact.n_transitions
+    assert stats.worker_deaths == 1
+    assert stats.recovered
+
+
+@pytest.mark.slow
+def test_shm_delay_injection_no_deaths():
+    model = _jackal((1, 1))
+    exact = explore(model)
+    _lts, stats = distributed_explore(
+        model, n_workers=2, backend="process", transport="shm",
+        faults=FaultPlan.parse("delay:0@0.02"),
+        batch_size=64, poll_interval=0.05,
+    )
+    assert stats.states == exact.n_states
+    assert stats.worker_deaths == 0
+    assert not stats.recovered
