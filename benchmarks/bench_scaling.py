@@ -111,6 +111,12 @@ def test_engine_speedup(once):
     assert report["system"]["states"] == 9312
     assert report["system"]["transitions"] == 25713
     assert report["speedup"]["engine"] >= 2.0
+    # the shipped BENCH_explore.json must carry memory telemetry for
+    # every tier: RSS watermark plus the bounded watermark series
+    for name in ("serial", "engine", "distributed"):
+        row = report["backends"][name]
+        assert row["max_rss_bytes"] > 0, name
+        assert row["mem"]["watermarks"], name
 
 
 @pytest.mark.benchmark(group="scaling")
@@ -131,6 +137,40 @@ def test_growth_in_rounds(once):
     print()
     print(Table("growth in rounds (config 1)",
                 ["rounds", "states", "transitions"], rows).render())
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_max_rss_gate(once):
+    """The max-RSS regression gate trips on a deliberate regression.
+
+    Two directions: a real bench report passes under a cap with
+    generous headroom over the observed watermark, and a doctored copy
+    of the same report — one backend's watermark inflated 10x, the
+    mutation a real memory regression would produce — must fail the
+    same cap and name the offending backend.
+    """
+    from repro.lts.bench import rss_gate
+
+    cfg = Config(threads_per_processor=(1, 1), rounds=1, with_probes=False)
+    model = JackalModel(cfg, ProtocolVariant.fixed())
+
+    def run():
+        return bench_explore(model, backends=("serial", "engine"), repeats=1)
+
+    report = once(run)
+    observed = max(
+        row["max_rss_bytes"]
+        for row in report["backends"].values()
+        if "max_rss_bytes" in row
+    )
+    assert observed > 0
+    cap = 4 * observed
+    assert rss_gate(report, cap) == []
+    doctored = json.loads(json.dumps(report))
+    doctored["backends"]["engine"]["max_rss_bytes"] = 10 * observed
+    assert rss_gate(doctored, cap) == ["engine"]
+    with pytest.raises(ValueError):
+        rss_gate(report, 0)
 
 
 # -- flight-recorder overhead gate ------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import dataclasses
+import os
 import sys
 
 from repro import obs
@@ -98,6 +99,11 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--trace", default=None, metavar="JSONL",
                    help="record a structured event trace to this file "
                    "(render it later with `repro report`)")
+    g.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="record one trace stream per process into this "
+                   "directory: trace.coordinator.jsonl plus a "
+                   "trace.worker<N>.jsonl per distributed worker "
+                   "(render the merged timeline with `repro report DIR`)")
     g.add_argument("--trace-ring", type=int, default=None, metavar="N",
                    help="keep only the last N events (bounded memory; "
                    "with --trace the retained tail is written at exit)")
@@ -106,6 +112,12 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    "Prometheus text if the path ends in .prom)")
     g.add_argument("--progress", action="store_true",
                    help="live progress line on stderr while exploring")
+    g.add_argument("--mem-pressure-mb", type=float, default=None,
+                   metavar="MB",
+                   help="emit a mem_pressure trace event when the "
+                   "process RSS crosses this many MiB (memory "
+                   "watermarks are recorded whenever any recording "
+                   "flag is on)")
 
 
 @contextlib.contextmanager
@@ -117,22 +129,40 @@ def _instrumented(args):
     black box behind.
     """
     trace = getattr(args, "trace", None)
+    trace_dir = getattr(args, "trace_dir", None)
     ring = getattr(args, "trace_ring", None)
     metrics_out = getattr(args, "metrics_out", None)
     progress = getattr(args, "progress", False)
-    if not (trace or ring or metrics_out or progress):
+    pressure_mb = getattr(args, "mem_pressure_mb", None)
+    if not (trace or trace_dir or ring or metrics_out or progress
+            or pressure_mb):
         yield obs.NULL
         return
+    if trace and trace_dir:
+        raise ReproError("--trace and --trace-dir are mutually exclusive")
+    if trace_dir:
+        # the coordinator's stream lives next to the per-worker ones
+        os.makedirs(trace_dir, exist_ok=True)
+        trace = os.path.join(trace_dir, "trace.coordinator.jsonl")
     registry = obs.MetricsRegistry() if metrics_out else None
     tracer = obs.Tracer(path=trace, ring=ring) if (trace or ring) else None
     reporter = obs.ProgressReporter() if progress else None
-    inst = obs.Instrumentation(registry, tracer, reporter)
+    memwatch = obs.MemWatch(
+        tracer=tracer, metrics=registry,
+        threshold_bytes=(
+            int(pressure_mb * 1024 * 1024) if pressure_mb else None
+        ),
+    )
+    inst = obs.Instrumentation(registry, tracer, reporter, memwatch,
+                               trace_dir=trace_dir)
     try:
         with obs.activate(inst):
             yield inst
     finally:
         inst.close()
-        if trace:
+        if trace_dir:
+            print(f"written: {trace_dir}", file=sys.stderr)
+        elif trace:
             print(f"written: {trace}", file=sys.stderr)
         if metrics_out:
             rendered = (
@@ -187,6 +217,38 @@ def _cmd_explore(args) -> int:
     cfg = _config(args)
     variant = _VARIANTS[args.variant]()
     cert = _certificate(args)
+    if args.distributed:
+        from repro.lts.distributed import distributed_explore
+
+        model = build_model(cfg, variant, probes=args.probes)
+        with _instrumented(args):
+            _lts, stats = distributed_explore(
+                model,
+                n_workers=args.workers or os.cpu_count() or 2,
+                transport=args.transport,
+                max_states=args.max_states,
+                certificate=cert,
+            )
+        row = {
+            "states": stats.states, "transitions": stats.transitions,
+            "workers": len(stats.per_worker_states),
+            "transport": stats.transport,
+            "seconds": round(stats.seconds, 3),
+            "states/s": round(
+                stats.states / stats.seconds if stats.seconds > 0 else 0.0
+            ),
+        }
+        print(Table(
+            f"distributed sweep of config {args.config} "
+            f"({variant.describe()})",
+            list(row), [row],
+        ).render())
+        if args.aut:
+            raise ReproError(
+                "--aut needs the explicit LTS; drop --distributed "
+                "(the distributed backend is count-only from the CLI)"
+            )
+        return 0
     with _instrumented(args):
         _model, lts = build_lts(
             cfg, variant, probes=args.probes, max_states=args.max_states,
@@ -326,23 +388,51 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.max_rss_mb is not None:
+        from repro.lts.bench import rss_gate
+
+        cap = int(args.max_rss_mb * 1024 * 1024)
+        over = rss_gate(report, cap)
+        if over:
+            worst = max(
+                report["backends"][n]["max_rss_bytes"] for n in over
+            )
+            print(
+                f"FAIL: RSS watermark {worst / (1024 * 1024):.1f} MiB "
+                f"exceeds the --max-rss-mb cap {args.max_rss_mb} "
+                f"(backends: {', '.join(over)})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
 def _cmd_report(args) -> int:
     import json
 
-    from repro.obs.report import report_from_file
+    from repro.obs.report import report_from_file, report_from_paths
 
+    paths = args.tracefile
+    single_file = len(paths) == 1 and not os.path.isdir(paths[0])
+    shown = paths[0] if len(paths) == 1 else ", ".join(paths)
     try:
-        rendered = report_from_file(args.tracefile)
+        if single_file and not args.lenient:
+            # one plain file keeps the strict contract: a malformed
+            # line is a clean error, never a silent partial report
+            rendered = report_from_file(paths[0])
+        elif single_file:
+            rendered = report_from_file(paths[0], lenient=True)
+        else:
+            # directories / multiple streams merge leniently — crashed
+            # workers legitimately leave torn tails behind
+            rendered = report_from_paths(paths)
     except BrokenPipeError:
         raise
     except OSError as exc:
-        raise ReproError(f"cannot read trace {args.tracefile!r}: {exc}") from exc
+        raise ReproError(f"cannot read trace {shown!r}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise ReproError(
-            f"malformed trace {args.tracefile!r}: {exc.msg}"
+            f"malformed trace {shown!r}: {exc.msg}"
         ) from exc
     print(rendered)
     return 0
@@ -438,6 +528,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--probes", action="store_true",
                    help="include the observability probe self-loops")
     p.add_argument("--aut", default=None, help="write the LTS to this path")
+    p.add_argument("--distributed", action="store_true",
+                   help="count-only partitioned sweep with worker "
+                   "processes (combine with --trace-dir for one trace "
+                   "stream per worker)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --distributed "
+                   "(default: the machine's CPU count)")
+    p.add_argument("--transport", default=None,
+                   choices=("auto", "queue", "shm"),
+                   help="distributed transport (default auto)")
     _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_explore)
@@ -493,15 +593,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-dist-speedup", type=float, default=None,
                    help="exit 1 if the distributed backend's speedup "
                    "over serial falls below this (e.g. 1.0)")
+    p.add_argument("--max-rss-mb", type=float, default=None,
+                   help="exit 1 if any backend's instrumented-pass RSS "
+                   "watermark exceeds this many MiB (memory regression "
+                   "gate)")
     _add_reduce_arg(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
-        "report", help="render a recorded --trace file as a timeline"
+        "report", help="render recorded trace files/dirs as a timeline"
     )
-    p.add_argument("tracefile", metavar="TRACE",
-                   help="JSONL trace written by --trace")
+    p.add_argument("tracefile", metavar="TRACE", nargs="+",
+                   help="JSONL trace file(s) written by --trace, and/or "
+                   "--trace-dir directories; several streams merge into "
+                   "one causal timeline with per-worker lanes")
+    p.add_argument("--lenient", action="store_true",
+                   help="skip unparseable lines instead of failing "
+                   "(always on for directories/multiple streams)")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("litmus", help="JMM conformance of the DSM runtime")

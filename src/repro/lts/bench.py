@@ -34,6 +34,14 @@ The resulting report is a plain dict so the CLI can dump it as
     the metrics snapshot of that pass, plus the distributed backend's
     recovery counters (worker deaths, re-dispatched batches) when it
     ran.
+``backends.<name>.max_rss_bytes`` / ``backends.<name>.mem``
+    memory telemetry from the instrumented passes (serial, engine and
+    the distributed coordinator): the RSS high-watermark, the bounded
+    watermark series, per-structure byte notes and the count of
+    ``mem_pressure`` events. The passes share one process and run in
+    order, so each backend's watermark is its *observed* ceiling in
+    that context — exactly what :func:`rss_gate` regresses against, not
+    an isolated-process measurement.
 ``reduction``
     present when a reduction certificate was supplied: unreduced vs
     reduced visited counts, the reduction ``factor``, the same sweep
@@ -55,7 +63,13 @@ from repro.errors import ExplorationLimitError
 from repro.lts.distributed import distributed_explore
 from repro.lts.engine import explore_fast
 from repro.lts.explore import ExplorationStats, TransitionSystem, explore
-from repro.obs import Instrumentation, MetricsRegistry, Tracer, phase_breakdown
+from repro.obs import (
+    Instrumentation,
+    MemWatch,
+    MetricsRegistry,
+    Tracer,
+    phase_breakdown,
+)
 
 #: backends in report order
 BACKENDS = ("serial", "engine", "engine-packed", "distributed")
@@ -284,14 +298,36 @@ def bench_explore(
             "slice_hits": system.slice_hits - hits0[2],
         }
 
-    # one extra instrumented engine pass feeds the phase breakdown and
-    # metrics snapshot — never the timed runs above, so the throughput
-    # numbers stay un-instrumented
+    def _note_mem(name: str, mw: MemWatch) -> None:
+        row = report["backends"].get(name)
+        if row is None:  # pragma: no cover - instrumented-only backends
+            return
+        summ = mw.summary()
+        row["max_rss_bytes"] = summ["max_rss_bytes"]
+        row["mem"] = summ
+
+    # one extra instrumented engine pass feeds the phase breakdown,
+    # metrics snapshot and memory watermarks — never the timed runs
+    # above, so the throughput numbers stay un-instrumented
     registry = MetricsRegistry()
     tracer = Tracer()
-    with Instrumentation(metrics=registry, tracer=tracer) as inst:
+    mw_engine = MemWatch(metrics=registry)
+    with Instrumentation(metrics=registry, tracer=tracer,
+                         memwatch=mw_engine) as inst:
         explore_fast(system, obs=inst)
     report["phases"] = phase_breakdown(tracer.events())
+    engine_name = next(
+        (n for n in ("engine", "engine-packed") if n in report["backends"]),
+        None,
+    )
+    if engine_name is not None:
+        _note_mem(engine_name, mw_engine)
+    # one instrumented serial pass for its watermark series (the serial
+    # reference is the out-of-core tier's memory baseline)
+    mw_serial = MemWatch()
+    with Instrumentation(memwatch=mw_serial) as inst_s:
+        explore(system, obs=inst_s)
+    _note_mem("serial", mw_serial)
     if best_dist is not None:
         # one instrumented distributed pass per transport (the resolved
         # one, plus the queue baseline when they differ) so the report
@@ -300,12 +336,16 @@ def bench_explore(
         dist_phases: dict = {}
         for tr in dict.fromkeys((best_dist.transport, "queue")):
             reg_d, tracer_d = MetricsRegistry(), Tracer()
-            with Instrumentation(metrics=reg_d, tracer=tracer_d) as inst_d:
+            mw_d = MemWatch(metrics=reg_d)
+            with Instrumentation(metrics=reg_d, tracer=tracer_d,
+                                 memwatch=mw_d) as inst_d:
                 distributed_explore(
                     system, n_workers=n_workers, backend="process",
                     transport=tr, batch_size=batch_size, obs=inst_d,
                 )
             dist_phases[tr] = phase_breakdown(tracer_d.events())
+            if tr == best_dist.transport:
+                _note_mem("distributed", mw_d)
         report["phases_distributed"] = dist_phases
     metrics = registry.snapshot()
     if best_dist is not None:
@@ -330,6 +370,25 @@ def bench_explore(
         "platform": sys.platform,
     }
     return report
+
+
+def rss_gate(report: dict, max_rss_bytes: int) -> list[str]:
+    """Backends whose observed RSS watermark exceeds ``max_rss_bytes``.
+
+    The memory analogue of the overhead gate: a refactor that keeps
+    throughput flat while doubling the visited set's footprint should
+    fail the benchmark, not slip through. Returns the offending backend
+    names (empty means the gate passes); backends without memory
+    telemetry are skipped, not failed.
+    """
+    if max_rss_bytes <= 0:
+        raise ValueError("max_rss_bytes must be positive")
+    over = []
+    for name, row in report.get("backends", {}).items():
+        rss = row.get("max_rss_bytes")
+        if rss is not None and rss > max_rss_bytes:
+            over.append(name)
+    return over
 
 
 def format_bench(report: dict) -> str:
@@ -391,4 +450,22 @@ def format_bench(report: dict) -> str:
                 f"redispatched_batches={dist['redispatched_batches']} "
                 f"recovered={dist['recovered']}"
             )
+    mem_rows = [
+        (name, row["max_rss_bytes"], row.get("mem", {}))
+        for name, row in report["backends"].items()
+        if row.get("max_rss_bytes") is not None
+    ]
+    if mem_rows:
+        lines.append(
+            "memory (RSS watermark): "
+            + "  ".join(
+                f"{name}={rss / (1024 * 1024):.1f}MiB"
+                + (
+                    f" (pressure={mem.get('pressure_events')})"
+                    if mem.get("pressure_events")
+                    else ""
+                )
+                for name, rss, mem in mem_rows
+            )
+        )
     return "\n".join(lines)

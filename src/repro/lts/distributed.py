@@ -100,6 +100,8 @@ from __future__ import annotations
 
 import gc
 import multiprocessing as mp
+import os
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -119,6 +121,9 @@ from repro.lts.shmring import (
 )
 from repro.lts.statehash import key_owner, live_owner
 from repro.obs.core import current as _current_obs
+from repro.obs.memwatch import MemWatch
+from repro.obs.merge import worker_stream_name
+from repro.obs.tracer import Tracer
 
 #: states per work batch (packed keys are ~20 bytes, so a batch fits
 #: comfortably in an OS pipe buffer and never blocks the coordinator)
@@ -361,9 +366,42 @@ class _AckLedger:
             for i in range(0, len(buf), w)
         }
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate coordinator memory held by this ledger."""
+        if self._set is not None:
+            return sys.getsizeof(self._set)
+        return len(self._buf)
+
     def clear(self) -> None:
         self._buf = bytearray()
         self._set = None
+
+
+def _worker_obs(trace_dir, wid, clock_origin):
+    """Per-worker flight recorder: own trace stream + memory watcher.
+
+    Workers are separate processes, so they cannot share the
+    coordinator's tracer (concurrent writers would tear JSONL lines).
+    Each worker instead opens its own line-buffered stream in
+    ``trace_dir`` and performs the clock handshake: its first event,
+    ``worker_start``, records ``clock_offset`` — this tracer's
+    ``perf_counter`` epoch minus the coordinator's — which
+    :mod:`repro.obs.merge` adds to the stream's timestamps to map them
+    onto the coordinator's timebase (``perf_counter`` is system-wide
+    monotonic on Linux, so fork children share the underlying clock).
+
+    Returns ``(tracer, memwatch)``, both ``None`` when no ``trace_dir``
+    is configured — callers branch once per quantum, never per state.
+    """
+    if trace_dir is None:
+        return None, None
+    tracer = Tracer(os.path.join(trace_dir, worker_stream_name(wid)))
+    tracer.emit(
+        "worker_start", worker=wid, pid=os.getpid(),
+        clock_offset=round(tracer.epoch - clock_origin, 6),
+    )
+    return tracer, MemWatch(tracer=tracer)
 
 
 def _expand_batch(system, batch, visited, collect, decode=None, succ=None,
@@ -469,6 +507,8 @@ def _worker_main(
     system, n_workers, wid, inbox, outbox, collect, packed,
     fault: WorkerFault | None = None,
     instrument: bool = False,
+    trace_dir=None,
+    clock_origin: float = 0.0,
 ):
     """Worker process loop: expand routed batches until told to stop.
 
@@ -480,13 +520,17 @@ def _worker_main(
     additionally times each batch (total expansion and successor
     generation seconds travel on the ``done`` message) for the flight
     recorder's per-phase breakdown; off by default to keep the hot
-    path clock-free.
+    path clock-free. With a ``trace_dir`` the worker also keeps its own
+    trace stream and memory watcher (see :func:`_worker_obs`), stamping
+    each batch's worker-side ``ack`` with the ``(worker, seq)``
+    correlation id the coordinator used on its ``dispatch``.
     """
     codec = system.codec() if packed else None
     decode = codec.decode if codec else None
     encode = codec.encode if codec else None
     visited: set = set()
     answered = 0
+    wtracer, wmem = _worker_obs(trace_dir, wid, clock_origin)
     # the spawn barrier: the coordinator times worker start-up
     # (stats.spawn_s) from process start to the last hello, and only
     # then starts the sweep clock — see bench_explore's spawn split
@@ -500,6 +544,9 @@ def _worker_main(
         ):
             crash_process(outbox)
         if msg is None:
+            if wtracer is not None:
+                wmem.close()
+                wtracer.close()
             outbox.put(("bye", wid, len(visited)))
             return
         _tag, seq, depth, batch = msg
@@ -522,6 +569,16 @@ def _worker_main(
              len(visited), collected,
              timer[0] if timer else 0.0, expand_s)
         )
+        if wtracer is not None:
+            wtracer.emit(
+                "ack", worker=wid, seq=seq, depth=depth,
+                states=len(new_states), transitions=n_trans,
+                visited=len(visited),
+                succ_s=round(timer[0] if timer else 0.0, 6),
+                expand_s=round(expand_s, 6),
+            )
+            wmem.note("visited", sys.getsizeof(visited))
+            wmem.sample()
         answered += 1
 
 
@@ -597,6 +654,7 @@ def _process_sweep(
     batch_size: int = _BATCH,
     fault_tolerant: bool = True,
     obs=None,
+    trace_dir=None,
 ):
     """The pipelined partitioned sweep with real worker processes.
 
@@ -621,6 +679,9 @@ def _process_sweep(
     """
     recording = obs is not None and obs.enabled
     tracer = obs.tracer if recording else None
+    clock_origin = obs.tracer.epoch if recording else 0.0
+    if not recording:
+        trace_dir = None
     ctx = (
         mp.get_context("fork")
         if "fork" in mp.get_all_start_methods()
@@ -634,7 +695,7 @@ def _process_sweep(
             target=_worker_main,
             args=(system, n_workers, w, inboxes[w], outbox, collect, packed,
                   faults.for_worker(w) if faults is not None else None,
-                  recording),
+                  recording, trace_dir, clock_origin),
             daemon=True,
         )
         for w in range(n_workers)
@@ -820,6 +881,11 @@ def _process_sweep(
             pending=[len(q) for q in pending], inflight=list(inflight),
             states=sum(sizes), alive=len(live),
         )
+        if acked is not None:
+            obs.memwatch.note(
+                "ack_ledger", sum(a.nbytes for a in acked)
+            )
+        obs.memwatch.sample()
         elapsed = time.perf_counter() - t_sweep0
         total = sum(sizes)
         obs.progress.maybe(
@@ -940,6 +1006,8 @@ def _shm_worker_main(
     fault: WorkerFault | None = None,
     instrument: bool = False,
     fault_tolerant: bool = True,
+    trace_dir=None,
+    clock_origin: float = 0.0,
 ):
     """Worker loop of the shared-memory transport.
 
@@ -1007,6 +1075,7 @@ def _shm_worker_main(
     stop = False
     answered = 0
     clock = time.perf_counter
+    wtracer, wmem = _worker_obs(trace_dir, wid, clock_origin)
 
     def _ctrl(msg):
         nonlocal stop
@@ -1029,6 +1098,9 @@ def _shm_worker_main(
             except Empty:
                 break
         if stop:
+            if wtracer is not None:
+                wmem.close()
+                wtracer.close()
             ctrl_out.put(("bye", wid, len(visited)))
             return
 
@@ -1072,6 +1144,14 @@ def _shm_worker_main(
                 backoff = min(backoff * 2.0, _IDLE_BACKOFF_MAX)
             continue
         backoff = 0.0005
+        if wtracer is not None:
+            # quantum pickup: opens the (worker, seq) latency window the
+            # coordinator-side ack for the same seq will close
+            wtracer.emit(
+                "ring_get", worker=wid, seq=answered,
+                records=len(quantum), keys=n_keys,
+                seconds=round(get_s, 6),
+            )
 
         # -- fault injection (mirrors the queue worker's semantics) --
         if fault is not None:
@@ -1177,6 +1257,7 @@ def _shm_worker_main(
                     if buf is None:
                         buf = ob[d1] = bytearray()
                     buf += nk.to_bytes(key_width, "little")
+        n_before_chase = len(new_keys)
         while chase and n_keys < chase_cap:
             depth, k, state = chase_pop()
             n_keys += 1
@@ -1240,10 +1321,17 @@ def _shm_worker_main(
             ship_memo.clear()
         if len(shipped) > _SHIP_CACHE_MAX:
             shipped.clear()
+        if wtracer is not None and len(new_keys) > n_before_chase:
+            wtracer.emit(
+                "local_chase", worker=wid, seq=answered,
+                chased=len(new_keys) - n_before_chase,
+            )
 
         # -- flush successor blocks straight to their owners ---------
         t1 = clock() if instrument else 0.0
         max_block = max(target, _QUANTUM_LO) * key_width
+        n_blocks = 0
+        n_bytes_out = 0
         for q in range(n_workers):
             per_depth = out[q]
             if not per_depth:
@@ -1252,10 +1340,17 @@ def _shm_worker_main(
             for d1, buf in per_depth.items():
                 for i in range(0, len(buf), max_block):
                     block = bytes(buf[i: i + max_block])
+                    n_blocks += 1
+                    n_bytes_out += len(block)
                     if ring is None or not ring.try_write(d1, block):
                         # dead owner or full ring: control-plane detour
                         ctrl_out.put(("relay", wid, q, d1, block))
         put_s = clock() - t1 if instrument else 0.0
+        if wtracer is not None and n_blocks:
+            wtracer.emit(
+                "ring_put", worker=wid, seq=answered, blocks=n_blocks,
+                n_bytes=n_bytes_out, seconds=round(put_s, 6),
+            )
 
         # -- acknowledge, then (and only then) release ring input ----
         consumed_list = [
@@ -1268,8 +1363,19 @@ def _shm_worker_main(
             "ack", wid, consumed_list, inject_seqs, keys_blob,
             n_trans, n_dead, len(visited), collected, max_d,
             round(succ_s, 6), round(expand_s, 6),
-            round(put_s, 6), round(get_s, 6),
+            round(put_s, 6), round(get_s, 6), answered,
         ))
+        if wtracer is not None:
+            wtracer.emit(
+                "ack", worker=wid, seq=answered, depth=max_d,
+                states=len(new_keys), transitions=n_trans,
+                visited=len(visited),
+                succ_s=round(succ_s, 6), expand_s=round(expand_s, 6),
+                ring_put_s=round(put_s, 6), ring_get_s=round(get_s, 6),
+            )
+            wmem.note("visited", sys.getsizeof(visited))
+            wmem.note("ship_memo", sys.getsizeof(ship_memo))
+            wmem.sample()
         for p, recs, nbytes in consumed_list:
             rings_in[p].commit(nbytes, recs)
         answered += 1
@@ -1284,6 +1390,7 @@ def _shm_sweep(
     fault_tolerant: bool = True,
     ring_bytes: int = DEFAULT_RING_BYTES,
     obs=None,
+    trace_dir=None,
 ):
     """The pipelined sweep over the shared-memory ring transport.
 
@@ -1317,6 +1424,9 @@ def _shm_sweep(
     """
     recording = obs is not None and obs.enabled
     tracer = obs.tracer if recording else None
+    clock_origin = obs.tracer.epoch if recording else 0.0
+    if not recording:
+        trace_dir = None
     ctx = mp.get_context("fork")
     codec = system.codec()
     key_width = codec.n_bytes
@@ -1327,6 +1437,11 @@ def _shm_sweep(
         [RingBuffer.create(ring_bytes) for _q in range(n_workers)]
         for _p in range(n_workers)
     ]
+    if recording:
+        # the ring matrix is the transport's fixed memory footprint
+        obs.memwatch.note(
+            "shm_rings", n_workers * n_workers * rings[0][0].capacity
+        )
     # real Queues on both directions: workers need a timed control get
     # (idle backoff), the coordinator a timed outbox get (liveness)
     ctrl_ins = [ctx.Queue() for _ in range(n_workers)]
@@ -1339,7 +1454,7 @@ def _shm_sweep(
                   [rings[w][q] for q in range(n_workers)],
                   collect, key_width, batch_size,
                   faults.for_worker(w) if faults is not None else None,
-                  recording, fault_tolerant),
+                  recording, fault_tolerant, trace_dir, clock_origin),
             daemon=True,
         )
         for w in range(n_workers)
@@ -1483,7 +1598,7 @@ def _shm_sweep(
         if kind == "ack":
             t_handle = time.perf_counter() if recording else 0.0
             (_tag, wid, consumed, inject_seqs, keys_blob, t, d, n_visited,
-             coll, max_d, succ_s, expand_s, put_s, get_s) = msg
+             coll, max_d, succ_s, expand_s, put_s, get_s, seq) = msg
             if wid in dead:  # pragma: no cover - acks drain before reaps
                 return
             for _p, recs, _nbytes in consumed:
@@ -1508,7 +1623,7 @@ def _shm_sweep(
                 ring_put_s += put_s
                 ring_get_s += get_s
                 tracer.emit(
-                    "ack", worker=wid, depth=max_d, transitions=t,
+                    "ack", worker=wid, seq=seq, depth=max_d, transitions=t,
                     visited=n_visited, succ_s=succ_s, expand_s=expand_s,
                     ring_put_s=put_s, ring_get_s=get_s,
                 )
@@ -1573,6 +1688,11 @@ def _shm_sweep(
             "coord_sample", states=sum(sizes), alive=len(live),
             inject_pending=[len(led) for led in inject_ledger],
         )
+        if acked is not None:
+            obs.memwatch.note(
+                "ack_ledger", sum(a.nbytes for a in acked)
+            )
+        obs.memwatch.sample()
         elapsed = time.perf_counter() - t_sweep0
         total = sum(sizes)
         obs.progress.maybe(
@@ -1692,6 +1812,7 @@ def distributed_explore(
     ring_bytes: int = DEFAULT_RING_BYTES,
     certificate=None,
     obs=None,
+    trace_dir: str | None = None,
 ) -> tuple[LTS | None, DistributedStats]:
     """Partitioned sweep of ``system`` (pipelined when ``"process"``).
 
@@ -1767,6 +1888,16 @@ def distributed_explore(
         events (dispatch/ack, worker deaths, re-dispatches, coordinator
         samples), workers time their batches for the per-phase
         breakdown, and recovery counters land in the metrics registry.
+    trace_dir:
+        Directory for per-worker trace streams (``"process"`` backend,
+        recording sweeps only; created if missing). Each worker writes
+        its own ``trace.worker<N>.jsonl`` — quantum pickups, local
+        chases, ring flushes and worker-side acks, all stamped with the
+        ``(worker, seq)`` correlation id — opened with a clock
+        handshake so :mod:`repro.obs.merge` can align the streams with
+        the coordinator's. Defaults to ``obs.trace_dir`` (the CLI's
+        ``--trace-dir`` flag, which also routes the coordinator's own
+        stream into the same directory).
 
     Returns
     -------
@@ -1819,6 +1950,10 @@ def distributed_explore(
     if obs is None:
         obs = _current_obs()
     recording = obs.enabled
+    if trace_dir is None:
+        trace_dir = getattr(obs, "trace_dir", None)
+    if trace_dir is not None and recording and backend == "process":
+        os.makedirs(trace_dir, exist_ok=True)
     if recording:
         obs.tracer.emit(
             "sweep_start", backend=f"distributed-{backend}",
@@ -1836,6 +1971,7 @@ def distributed_explore(
                 obs.tracer.emit("fault_plan", worker=wid, kind="delay", arg=d)
 
     def _emit_end(outcome: str) -> None:
+        obs.memwatch.sample(force=True)
         obs.tracer.emit(
             "sweep_end", backend=f"distributed-{backend}", outcome=outcome,
             states=stats.states, transitions=stats.transitions,
@@ -1856,6 +1992,8 @@ def distributed_explore(
             coord_idle_s=stats.coord_idle_s,
             ring_put_s=stats.ring_put_s,
             ring_get_s=stats.ring_get_s,
+            max_rss_bytes=obs.memwatch.max_rss_bytes,
+            mem_pressure_events=obs.memwatch.pressure_events,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend=f"distributed-{backend}",
@@ -1893,7 +2031,7 @@ def distributed_explore(
                 batch_size=batch_size or _BATCH,
                 fault_tolerant=fault_tolerant,
                 ring_bytes=ring_bytes,
-                obs=obs,
+                obs=obs, trace_dir=trace_dir,
             )
         else:
             transitions, init_item = _process_sweep(
@@ -1901,7 +2039,7 @@ def distributed_explore(
                 faults=faults, poll=poll_interval,
                 batch_size=batch_size or _BATCH,
                 fault_tolerant=fault_tolerant,
-                obs=obs,
+                obs=obs, trace_dir=trace_dir,
             )
     except (ExplorationLimitError, WorkerFailureError) as exc:
         # an aborted sweep still reports how far it got and how long it ran

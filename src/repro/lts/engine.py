@@ -33,6 +33,7 @@ same limit semantics — but engineered for throughput:
 from __future__ import annotations
 
 import gc
+import sys
 import time
 from array import array
 from typing import Callable, Hashable, MutableMapping
@@ -203,6 +204,8 @@ def explore_fast(
             if red0 is not None
             else None
         )
+        obs.memwatch.note("visited_index", sys.getsizeof(index))
+        obs.memwatch.sample(force=True)
         obs.tracer.emit(
             "sweep_end", backend=backend, outcome=outcome,
             states=stats.states, transitions=stats.transitions,
@@ -211,6 +214,8 @@ def explore_fast(
             depth=stats.depth, max_frontier=stats.max_frontier,
             memo_hits=memo_hits[0] if memo is not None else None,
             reduction=reduction,
+            max_rss_bytes=obs.memwatch.max_rss_bytes,
+            mem_pressure_events=obs.memwatch.pressure_events,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend=backend, outcome=outcome).inc()
@@ -330,6 +335,8 @@ def explore_fast(
                     wave_s=round(wave_s, 6), succ_s=round(succ_s, 6),
                     dedup_s=round(max(wave_s - succ_s, 0.0), 6),
                 )
+                obs.memwatch.note("visited_index", sys.getsizeof(index))
+                obs.memwatch.sample()
                 elapsed = time.perf_counter() - t0
                 obs.progress.maybe(
                     states=n, sps=n / elapsed if elapsed > 0 else 0.0,

@@ -11,6 +11,7 @@ extracted.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Protocol, runtime_checkable
@@ -172,6 +173,8 @@ def explore(
             if red0 is not None
             else None
         )
+        obs.memwatch.note("visited_index", sys.getsizeof(index))
+        obs.memwatch.sample(force=True)
         obs.tracer.emit(
             "sweep_end", backend="serial", outcome=outcome,
             states=stats.states, transitions=stats.transitions,
@@ -179,6 +182,8 @@ def explore(
             states_per_second=round(stats.states_per_second(), 1),
             depth=stats.depth, max_frontier=stats.max_frontier,
             reduction=reduction,
+            max_rss_bytes=obs.memwatch.max_rss_bytes,
+            mem_pressure_events=obs.memwatch.pressure_events,
         )
         m = obs.metrics
         m.counter("repro_sweeps_total", backend="serial",
@@ -245,6 +250,8 @@ def explore(
                 succ_s=round(succ_s, 6),
                 dedup_s=round(max(wave_s - succ_s, 0.0), 6),
             )
+            obs.memwatch.note("visited_index", sys.getsizeof(index))
+            obs.memwatch.sample()
             elapsed = time.perf_counter() - t0
             obs.progress.maybe(
                 states=len(index),

@@ -7,7 +7,13 @@ The observability layer of the package. Three cooperating pieces:
 * :mod:`repro.obs.tracer` — structured JSONL event traces with
   monotonic timestamps and a bounded ring-buffer mode;
 * :mod:`repro.obs.progress` — a rate-limited live status line on
-  stderr (states/s, frontier size, workers alive).
+  stderr (states/s, frontier size, workers alive);
+* :mod:`repro.obs.memwatch` — RSS sampling at heartbeat points, with
+  high-watermarks, per-structure byte accounting and edge-triggered
+  ``mem_pressure`` events;
+* :mod:`repro.obs.merge` — merging per-process trace streams (one per
+  distributed worker, clock-aligned via the spawn handshake) into one
+  causal timeline.
 
 They travel together as an :class:`Instrumentation` bundle. The
 ambient default (:data:`NULL`) is fully disabled and costs one
@@ -33,6 +39,8 @@ documented in ``docs/observability.md``.
 """
 
 from repro.obs.core import NULL, Instrumentation, activate, current
+from repro.obs.memwatch import NULL_MEMWATCH, MemWatch, NullMemWatch, rss_bytes
+from repro.obs.merge import lanes, merge_traces, worker_stream_name
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -40,13 +48,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    escape_label_value,
 )
 from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
-from repro.obs.report import phase_breakdown, render_report, report_from_file
+from repro.obs.report import (
+    phase_breakdown,
+    render_report,
+    report_from_file,
+    report_from_paths,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_trace
 
 __all__ = [
     "NULL",
+    "NULL_MEMWATCH",
     "NULL_PROGRESS",
     "NULL_REGISTRY",
     "NULL_TRACER",
@@ -54,7 +69,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "MemWatch",
     "MetricsRegistry",
+    "NullMemWatch",
     "NullProgress",
     "NullRegistry",
     "NullTracer",
@@ -62,8 +79,14 @@ __all__ = [
     "Tracer",
     "activate",
     "current",
+    "escape_label_value",
+    "lanes",
+    "merge_traces",
     "phase_breakdown",
     "read_trace",
     "render_report",
     "report_from_file",
+    "report_from_paths",
+    "rss_bytes",
+    "worker_stream_name",
 ]

@@ -14,37 +14,47 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.memwatch import NULL_MEMWATCH, MemWatch
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.progress import NULL_PROGRESS, ProgressReporter
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class Instrumentation:
-    """A metrics registry + tracer + progress reporter, or no-ops.
+    """A metrics registry + tracer + progress + memory watcher, or no-ops.
 
     ``enabled`` is true when any component is live — the single flag
-    hot loops branch on (per wave, not per state).
+    hot loops branch on (per wave, not per state). ``trace_dir``, when
+    set, is the directory distributed sweeps write per-worker trace
+    streams into (``trace.worker<N>.jsonl`` next to the coordinator's
+    stream; see :mod:`repro.obs.merge`).
     """
 
-    __slots__ = ("metrics", "tracer", "progress", "enabled")
+    __slots__ = ("metrics", "tracer", "progress", "memwatch", "enabled",
+                 "trace_dir")
 
     def __init__(
         self,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         progress: ProgressReporter | None = None,
+        memwatch: MemWatch | None = None,
+        trace_dir: str | None = None,
     ):
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.progress = progress if progress is not None else NULL_PROGRESS
+        self.memwatch = memwatch if memwatch is not None else NULL_MEMWATCH
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.enabled = bool(
             self.metrics.enabled or self.tracer.enabled
-            or self.progress.enabled
+            or self.progress.enabled or self.memwatch.enabled
         )
 
     def close(self) -> None:
         """Finish the progress line and flush/close the trace sink."""
         self.progress.done()
+        self.memwatch.close()
         self.tracer.close()
 
     def __enter__(self) -> "Instrumentation":

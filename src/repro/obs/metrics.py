@@ -137,6 +137,22 @@ def _labels_key(labels: dict | None) -> tuple:
     return tuple(sorted(labels.items())) if labels else ()
 
 
+def escape_label_value(v) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    spec requires escaped inside quoted label values; anything else
+    passes through. Without this, a label value like a Windows path or
+    a multi-line spec fingerprint corrupts the whole exposition.
+    """
+    return (
+        str(v)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
 class MetricsRegistry:
     """Named instruments, get-or-created on first use.
 
@@ -201,7 +217,9 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {inst.name} {inst.kind}")
             suffix = ""
             if inst.labels:
-                rendered = ",".join(f'{k}="{v}"' for k, v in inst.labels)
+                rendered = ",".join(
+                    f'{k}="{escape_label_value(v)}"' for k, v in inst.labels
+                )
                 suffix = f"{{{rendered}}}"
             if isinstance(inst, Histogram):
                 cum = 0

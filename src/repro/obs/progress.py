@@ -10,6 +10,11 @@ seconds one ``\\r``-rewritten status line lands on stderr::
 The reporter rate-limits itself, so callers never need their own
 timers; :meth:`done` finishes the line with a newline so subsequent
 output starts clean.
+
+The ``\\r`` + ``\\x1b[K`` rewrite trick only makes sense on a real
+terminal. When the stream is not a TTY (CI logs, ``2>file``), the
+reporter falls back to plain newline-terminated lines so the log stays
+readable instead of accumulating control sequences on one endless line.
 """
 
 from __future__ import annotations
@@ -39,6 +44,10 @@ class ProgressReporter:
         self._clock = _clock or time.monotonic
         self._last = 0.0
         self._dirty = False
+        try:
+            self._ansi = bool(self._stream.isatty())
+        except (AttributeError, ValueError):
+            self._ansi = False
 
     def maybe(self, **fields) -> None:
         """Render a status line if ``interval`` has elapsed.
@@ -55,9 +64,12 @@ class ProgressReporter:
         parts = " | ".join(
             f"{k} {_fmt(v)}" for k, v in fields.items() if v is not None
         )
-        self._stream.write(f"\r[repro] {parts}\x1b[K")
+        if self._ansi:
+            self._stream.write(f"\r[repro] {parts}\x1b[K")
+            self._dirty = True
+        else:
+            self._stream.write(f"[repro] {parts}\n")
         self._stream.flush()
-        self._dirty = True
 
     def done(self) -> None:
         """Terminate the status line (no-op if nothing was printed)."""

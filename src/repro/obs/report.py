@@ -7,6 +7,14 @@ dedup vs transport), the distributed worker timeline (dispatches,
 deaths, re-dispatches, fault injections), and the mu-calculus fixpoint
 and requirement-check summaries.
 
+``repro report`` also accepts a ``--trace-dir`` directory (or several
+files): the per-process streams are merged into one causal timeline
+(:mod:`repro.obs.merge`) and each sweep additionally renders
+**per-worker lanes** — one row per worker stream with its quantum
+count, busy/idle split and utilization — plus the **dispatch-to-ack
+batch latency** distribution across the control plane, the two numbers
+multi-worker scaling work on real hardware is diagnosed with.
+
 :func:`phase_breakdown` is also used directly by the bench harness to
 embed the same breakdown into ``BENCH_explore.json``.
 """
@@ -129,8 +137,119 @@ def _wave_table(waves: list[dict]) -> list[str]:
 
 _TIMELINE_EVENTS = (
     "fault_plan", "worker_death", "redispatch", "gc_suspend", "gc_resume",
-    "limit", "coord_sample",
+    "limit", "coord_sample", "mem_pressure", "worker_start",
 )
+
+#: events whose (worker, seq) stamp opens a batch's latency window
+_BATCH_OPEN_EVENTS = ("dispatch", "ring_get")
+
+
+def _has_lanes(events: list[dict]) -> bool:
+    return any("lane" in e for e in events)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _batch_latencies(events: list[dict]) -> list[float]:
+    """Dispatch-to-ack seconds per correlated ``(worker, seq)`` batch.
+
+    A batch opens at the coordinator's ``dispatch`` (queue transport)
+    or the worker's ``ring_get`` quantum pickup (shm transport) and
+    closes at the coordinator-side ``ack`` carrying the same
+    correlation id — the full work-plus-control round trip.
+    """
+    opened: dict[tuple, float] = {}
+    out: list[float] = []
+    for e in events:
+        key = (e.get("worker"), e.get("seq"))
+        if key[0] is None or key[1] is None:
+            continue
+        ev = e.get("ev")
+        if ev in _BATCH_OPEN_EVENTS:
+            opened.setdefault(key, e.get("t", 0.0))
+        elif ev == "ack" and e.get("lane", "coordinator") == "coordinator":
+            t0 = opened.pop(key, None)
+            if t0 is not None:
+                out.append(max(e.get("t", 0.0) - t0, 0.0))
+    return out
+
+
+def _lane_rows(events: list[dict]) -> dict[str, dict]:
+    """Per-worker-lane activity aggregates of one sweep."""
+    rows: dict[str, dict] = {}
+    for e in events:
+        lane = e.get("lane")
+        if lane is None or not lane.startswith("worker"):
+            continue
+        row = rows.setdefault(
+            lane,
+            {"events": 0, "quanta": 0, "states": 0, "busy_s": 0.0,
+             "first_t": e.get("t", 0.0), "last_t": e.get("t", 0.0)},
+        )
+        row["events"] += 1
+        row["last_t"] = e.get("t", row["last_t"])
+        ev = e.get("ev")
+        if ev == "ack":
+            row["quanta"] += 1
+            row["states"] = e.get("visited", row["states"])
+            row["busy_s"] += (
+                e.get("expand_s", 0.0)
+                + e.get("ring_put_s", 0.0) + e.get("ring_get_s", 0.0)
+            )
+        elif ev in ("ring_put", "ring_get"):
+            row["busy_s"] += e.get("seconds", 0.0)
+    return rows
+
+
+def _render_lanes(events: list[dict]) -> list[str]:
+    """The per-worker lane table + latency line of one merged sweep."""
+    rows = _lane_rows(events)
+    if not rows:
+        return []
+    ts = [e.get("t", 0.0) for e in events]
+    span = max(ts) - min(ts) if ts else 0.0
+    end = next((e for e in events if e.get("ev") == "sweep_end"), None)
+    if end is not None and end.get("seconds", 0.0) > 0:
+        span = end["seconds"]
+    lines = ["  worker lanes:"]
+    lines.append(
+        f"  {'lane':>10} {'events':>8} {'quanta':>8} {'states':>10} "
+        f"{'busy s':>8} {'idle s':>8} {'util':>6}"
+    )
+
+    def _wid(lane):
+        try:
+            return int(lane.replace("worker", ""))
+        except ValueError:  # pragma: no cover - lane names are generated
+            return -1
+
+    for lane in sorted(rows, key=_wid):
+        row = rows[lane]
+        busy = row["busy_s"]
+        idle = max(span - busy, 0.0)
+        util = 100.0 * busy / span if span > 0 else 0.0
+        lines.append(
+            f"  {lane:>10} {row['events']:>8,} {row['quanta']:>8,} "
+            f"{row['states']:>10,} {busy:>8.3f} {idle:>8.3f} "
+            f"{util:>5.1f}%"
+        )
+    lat = _batch_latencies(events)
+    if lat:
+        lat.sort()
+        p95 = lat[min(int(0.95 * len(lat)), len(lat) - 1)]
+        lines.append(
+            f"  dispatch->ack latency: n={len(lat)} "
+            f"min {1000 * lat[0]:.1f} ms  "
+            f"mean {1000 * sum(lat) / len(lat):.1f} ms  "
+            f"p95 {1000 * p95:.1f} ms  max {1000 * lat[-1]:.1f} ms"
+        )
+    return lines
 
 
 def _render_sweep(i: int, events: list[dict]) -> list[str]:
@@ -177,15 +296,27 @@ def _render_sweep(i: int, events: list[dict]) -> list[str]:
                 f"redispatched_batches={end.get('redispatched_batches', 0)} "
                 f"recovered={'yes' if end.get('recovered') else 'no'}"
             )
+        if end.get("max_rss_bytes"):
+            mem = f"  memory: max RSS {_fmt_bytes(end['max_rss_bytes'])}"
+            if end.get("mem_pressure_events"):
+                mem += (
+                    f"  pressure events {end['mem_pressure_events']}"
+                )
+            lines.append(mem)
 
     waves = [e for e in events if e.get("ev") == "wave"]
     if waves:
         lines.append("  depth waves:")
         lines.extend("  " + ln for ln in _wave_table(waves))
 
+    lanes_present = _has_lanes(events)
     acks: dict[int, dict] = {}
     for e in events:
         if e.get("ev") == "ack":
+            # in merged traces each ack exists on the coordinator lane
+            # and on its worker's lane — count the coordinator copy only
+            if lanes_present and e.get("lane") != "coordinator":
+                continue
             w = e.get("worker", -1)
             agg = acks.setdefault(
                 w, {"batches": 0, "states": 0, "expand_s": 0.0}
@@ -207,6 +338,9 @@ def _render_sweep(i: int, events: list[dict]) -> list[str]:
                 f"{agg['states'] / busy if busy > 0 else 0.0:>14,.0f}"
             )
 
+    if lanes_present:
+        lines.extend(_render_lanes(events))
+
     timeline = [
         e for e in events if e.get("ev") in _TIMELINE_EVENTS
     ]
@@ -214,9 +348,14 @@ def _render_sweep(i: int, events: list[dict]) -> list[str]:
         lines.append("  events:")
         for e in timeline:
             detail = " ".join(
-                f"{k}={v}" for k, v in e.items() if k not in ("t", "ev")
+                f"{k}={v}"
+                for k, v in e.items()
+                if k not in ("t", "ev", "lane", "t0")
             )
-            lines.append(f"    {e.get('t', 0.0):>9.3f} s  {e['ev']}  {detail}")
+            lane = f"[{e['lane']}] " if "lane" in e else ""
+            lines.append(
+                f"    {e.get('t', 0.0):>9.3f} s  {lane}{e['ev']}  {detail}"
+            )
 
     phases = phase_breakdown(events)
     if phases["total_s"] > 0:
@@ -228,10 +367,18 @@ def render_report(events: list[dict]) -> str:
     """The full human-readable report for a trace (see module docstring)."""
     sweeps, _leftovers = _split_sweeps(events)
     span = events[-1].get("t", 0.0) if events else 0.0
-    lines = [
+    head = (
         f"flight recorder report — {len(sweeps)} sweep(s), "
         f"{len(events)} events, {span:.3f} s of recording"
-    ]
+    )
+    if _has_lanes(events):
+        names = sorted(
+            {e["lane"] for e in events if "lane" in e},
+            key=lambda s: (0, -1) if s == "coordinator"
+            else (1, int(s.replace("worker", "") or -1)),
+        )
+        head += f", {len(names)} stream(s): {', '.join(names)}"
+    lines = [head]
     for i, sweep in enumerate(sweeps, 1):
         lines.append("")
         lines.extend(_render_sweep(i, sweep))
@@ -279,6 +426,25 @@ def render_report(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def report_from_file(path) -> str:
-    """Load ``path`` (JSONL trace) and render it."""
-    return render_report(read_trace(path))
+def report_from_file(path, *, lenient: bool = False) -> str:
+    """Load ``path`` (one JSONL trace) and render it.
+
+    Strict by default — a malformed line raises, which the CLI turns
+    into a clean ``error:`` exit rather than a silent partial report.
+    ``lenient=True`` instead skips unparseable lines (the crash-artifact
+    mode: a stream whose writer was killed mid-line still renders
+    everything before the torn tail).
+    """
+    return render_report(read_trace(path, lenient=lenient))
+
+
+def report_from_paths(paths) -> str:
+    """Render trace files and/or trace directories as one merged report.
+
+    Directories expand to their per-process streams (see
+    :func:`repro.obs.merge.merge_traces`); a single plain file renders
+    exactly like :func:`report_from_file`.
+    """
+    from repro.obs.merge import merge_traces
+
+    return render_report(merge_traces(list(paths)))

@@ -15,7 +15,11 @@ documented in ``docs/observability.md``.
 Two storage modes:
 
 * **file mode** (``path=...``): events are written to a JSONL file as
-  they happen — the black box recovered after a wedged run;
+  they happen — the black box recovered after a wedged run. The file
+  handle is **line buffered**: every emitted event reaches the OS
+  before :meth:`emit` returns, so a process killed mid-sweep (even
+  SIGKILL) loses at most the event being formatted, never a buffered
+  tail;
 * **ring mode** (``ring=N``): only the last ``N`` events are kept in a
   bounded in-memory deque, for sweeps too large to trace in full; the
   retained tail can still be dumped with :meth:`Tracer.dump`.
@@ -46,7 +50,22 @@ class Tracer:
         self._events: deque = deque(maxlen=ring)
         self._fh = None
         if self._path is not None and ring is None:
-            self._fh = open(self._path, "w")
+            # line buffering: each event line is flushed to the OS as
+            # it is written, so a crashed run's trace never loses a
+            # buffered tail (the whole point of a flight recorder)
+            self._fh = open(self._path, "w", buffering=1)
+
+    @property
+    def epoch(self) -> float:
+        """The clock reading all ``t`` values are relative to.
+
+        On Linux ``time.perf_counter`` is a system-wide monotonic
+        clock, so epochs from different processes on one machine are
+        directly comparable — the basis of the distributed flight
+        recorder's clock handshake (a worker's ``clock_offset`` is its
+        own epoch minus the coordinator's).
+        """
+        return self._t0
 
     def emit(self, ev: str, **fields) -> None:
         """Record one event (timestamped now)."""
@@ -86,6 +105,7 @@ class NullTracer:
     """The disabled tracer: :meth:`emit` is a no-op."""
 
     enabled = False
+    epoch = 0.0
 
     def emit(self, ev: str, **fields) -> None:
         pass
@@ -101,12 +121,17 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
-def read_trace(path) -> list[dict]:
+def read_trace(path, *, lenient: bool = False) -> list[dict]:
     """Load a JSONL trace file back into a list of event dicts.
 
     Blank lines are skipped, so traces survive manual editing; a
     malformed line raises ``json.JSONDecodeError`` with the line number
-    attached for context.
+    attached for context. With ``lenient=True`` malformed lines — the
+    truncated tail of a crashed writer, or torn interleavings from two
+    processes sharing one file — are skipped instead, and any events
+    that parsed are returned; ``repro report`` reads traces this way
+    because a black box recovered after a crash is expected to end
+    mid-line.
     """
     events: list[dict] = []
     with open(path) as fh:
@@ -115,9 +140,17 @@ def read_trace(path) -> list[dict]:
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                rec = json.loads(line)
             except json.JSONDecodeError as exc:
+                if lenient:
+                    continue
                 raise json.JSONDecodeError(
                     f"{exc.msg} (trace line {lineno})", exc.doc, exc.pos
                 ) from None
+            if isinstance(rec, dict):
+                events.append(rec)
+            elif not lenient:
+                raise json.JSONDecodeError(
+                    f"trace line {lineno} is not a JSON object", line, 0
+                )
     return events

@@ -101,6 +101,56 @@ def test_kill_recovery_recorded_end_to_end():
 
 
 @pytest.mark.slow
+def test_per_worker_streams_and_merged_report(tmp_path):
+    """The tentpole acceptance path: a process sweep with a trace dir
+    leaves one stream per worker plus the coordinator's, and the merged
+    report renders every worker's lane."""
+    from repro.obs.merge import (
+        COORDINATOR_STREAM,
+        lanes,
+        merge_traces,
+        worker_stream_name,
+    )
+    from repro.obs.report import report_from_paths
+
+    td = tmp_path / "td"
+    td.mkdir()
+    inst = obs.Instrumentation(
+        metrics=obs.MetricsRegistry(),
+        tracer=obs.Tracer(td / COORDINATOR_STREAM),
+        memwatch=obs.MemWatch(),
+        trace_dir=str(td),
+    )
+    with inst:
+        _lts, stats = distributed_explore(
+            Diamond(16), n_workers=2, backend="process", batch_size=8,
+            obs=inst,
+        )
+    for name in (COORDINATOR_STREAM, worker_stream_name(0),
+                 worker_stream_name(1)):
+        assert (td / name).exists(), name
+
+    merged = merge_traces([td])
+    assert lanes(merged) == ["coordinator", "worker0", "worker1"]
+    starts = [e for e in merged if e["ev"] == "worker_start"]
+    assert {e["worker"] for e in starts} == {0, 1}
+    assert all("clock_offset" in e for e in starts)
+    # worker-lane acks carry the (worker, seq) correlation id
+    wacks = [e for e in merged if e["ev"] == "ack"
+             and e["lane"].startswith("worker")]
+    assert wacks and all("seq" in e for e in wacks)
+
+    text = report_from_paths([str(td)])
+    assert "worker lanes:" in text
+    assert "worker0" in text and "worker1" in text
+    assert "dispatch->ack latency:" in text
+    # memory telemetry rode along on the coordinator's sweep_end
+    end = [e for e in merged if e["ev"] == "sweep_end"][-1]
+    assert end["max_rss_bytes"] > 0
+    assert stats.states == explore(Diamond(16)).n_states
+
+
+@pytest.mark.slow
 def test_fault_free_process_trace_has_timings():
     inst = _bundle()
     _lts, stats = distributed_explore(

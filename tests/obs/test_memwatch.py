@@ -1,0 +1,161 @@
+"""MemWatch: RSS sampling, watermarks, pressure events, null discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.memwatch import NULL_MEMWATCH, MemWatch, NullMemWatch, rss_bytes
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _watch(rss_values, clock=None, **kw):
+    """A MemWatch fed a scripted RSS sequence (last value repeats)."""
+    seq = list(rss_values)
+
+    def fake_rss():
+        return seq.pop(0) if len(seq) > 1 else seq[0]
+
+    return MemWatch(_clock=clock or FakeClock(), _rss=fake_rss, **kw)
+
+
+def test_rss_bytes_reads_something():
+    rss = rss_bytes()
+    assert rss is not None and rss > 1024 * 1024  # a running CPython
+
+
+def test_watermark_tracks_maximum():
+    clock = FakeClock()
+    mw = _watch([100, 300, 200], clock=clock)
+    for _ in range(3):
+        clock.t += 1.0
+        mw.sample()
+    assert mw.max_rss_bytes == 300
+    assert [b for _t, b in mw.series] == [100, 300, 200]
+
+
+def test_sampling_is_rate_limited():
+    clock = FakeClock()
+    reads = [0]
+
+    def fake_rss():
+        reads[0] += 1
+        return 100
+
+    mw = MemWatch(interval=1.0, _clock=clock, _rss=fake_rss)
+    mw.sample()
+    mw.sample()  # within the interval: cached, no second read
+    assert reads[0] == 1
+    mw.sample(force=True)  # force bypasses the limit
+    assert reads[0] == 2
+    clock.t += 2.0
+    mw.sample()
+    assert reads[0] == 3
+
+
+def test_series_stays_bounded_by_halving():
+    clock = FakeClock()
+    mw = _watch(range(10_000), clock=clock, series_max=8, interval=0.0)
+    for _ in range(1000):
+        clock.t += 1.0
+        mw.sample()
+    assert len(mw.series) < 8
+    ts = [t for t, _b in mw.series]
+    assert ts == sorted(ts)  # chronological after halving
+
+
+def test_pressure_event_is_edge_triggered_and_rearms():
+    clock = FakeClock()
+    tracer = Tracer(ring=100)
+    seq = [50, 150, 160, 150, 80, 150]  # over, hover, over again
+
+    def fake_rss():
+        return seq.pop(0) if len(seq) > 1 else seq[0]
+
+    mw = MemWatch(
+        tracer=tracer, threshold_bytes=100, interval=0.0,
+        rearm_ratio=0.9, _clock=clock, _rss=fake_rss,
+    )
+    for _ in range(6):
+        clock.t += 1.0
+        mw.sample()
+    # one event per excursion: 150/160/150 is a single excursion
+    assert mw.pressure_events == 2
+    events = [e for e in tracer.events() if e["ev"] == "mem_pressure"]
+    assert len(events) == 2
+    assert events[0]["rss_bytes"] == 150
+    assert events[0]["threshold_bytes"] == 100
+
+
+def test_note_feeds_structs_and_metrics():
+    reg = MetricsRegistry()
+    mw = _watch([100], metrics=reg)
+    mw.note("visited_index", 4096)
+    mw.note("visited_index", 8192)  # latest wins
+    mw.sample(force=True)
+    assert mw.structs == {"visited_index": 8192}
+    snap = reg.snapshot()
+    assert snap["repro_mem_struct_bytes{struct=visited_index}"] == 8192
+    assert snap["repro_mem_rss_bytes"] == 100
+    assert snap["repro_mem_rss_watermark_bytes"] == 100
+
+
+def test_pressure_event_names_the_structs():
+    tracer = Tracer(ring=10)
+    mw = _watch([500], tracer=tracer, threshold_bytes=100, interval=0.0)
+    mw.note("frontier", 123)
+    mw.sample(force=True)
+    ev = [e for e in tracer.events() if e["ev"] == "mem_pressure"][0]
+    assert ev["structs"] == {"frontier": 123}
+
+
+def test_summary_shape():
+    clock = FakeClock()
+    mw = _watch([100, 200], clock=clock, threshold_bytes=150, interval=0.0)
+    mw.note("x", 7)
+    for _ in range(2):
+        clock.t += 1.0
+        mw.sample()
+    s = mw.summary()
+    assert s["max_rss_bytes"] == 200
+    assert s["samples"] == len(s["watermarks"]) == 2
+    assert s["watermarks"][0][1] == 100
+    assert s["structs"] == {"x": 7}
+    assert s["pressure_events"] == 1
+
+
+def test_unreadable_rss_degrades_to_none():
+    mw = MemWatch(_rss=lambda: None)
+    assert mw.sample(force=True) is None
+    assert mw.max_rss_bytes == 0
+    assert mw.summary()["watermarks"] == []
+
+
+def test_close_takes_a_final_sample():
+    mw = _watch([321])
+    mw.close()
+    assert mw.max_rss_bytes == 321
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="threshold_bytes"):
+        MemWatch(threshold_bytes=0)
+    with pytest.raises(ValueError, match="series_max"):
+        MemWatch(series_max=1)
+
+
+def test_null_memwatch_is_inert():
+    assert NULL_MEMWATCH.enabled is False
+    assert isinstance(NULL_MEMWATCH, NullMemWatch)
+    assert NULL_MEMWATCH.sample(force=True) is None
+    NULL_MEMWATCH.note("x", 1)
+    assert NULL_MEMWATCH.summary()["max_rss_bytes"] == 0
+    NULL_MEMWATCH.close()  # no-op, no error

@@ -1,0 +1,132 @@
+"""Stream merging: lane naming, clock handshake, causal ordering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.merge import (
+    COORDINATOR_STREAM,
+    lane_of,
+    lanes,
+    load_stream,
+    merge_streams,
+    merge_traces,
+    trace_files,
+    worker_stream_name,
+)
+
+
+def _write(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+def _dir(tmp_path, coordinator, workers):
+    d = tmp_path / "td"
+    d.mkdir()
+    _write(d / COORDINATOR_STREAM, coordinator)
+    for wid, events in workers.items():
+        _write(d / worker_stream_name(wid), events)
+    return d
+
+
+def test_stream_naming():
+    assert worker_stream_name(3) == "trace.worker3.jsonl"
+    assert lane_of("td/trace.worker12.jsonl") == "worker12"
+    assert lane_of("td/" + COORDINATOR_STREAM) == "coordinator"
+    # a plain --trace output file lands on the coordinator lane
+    assert lane_of("/tmp/sweep.jsonl") == "coordinator"
+
+
+def test_trace_files_orders_coordinator_first(tmp_path):
+    d = _dir(
+        tmp_path, [{"t": 0.0, "ev": "sweep_start"}],
+        {10: [], 2: []},
+    )
+    (d / "notes.txt").write_text("ignored")
+    files = trace_files(d)
+    assert [lane_of(f) for f in files] == ["coordinator", "worker2", "worker10"]
+
+
+def test_load_stream_applies_clock_offset(tmp_path):
+    p = tmp_path / worker_stream_name(0)
+    _write(p, [
+        {"t": 0.001, "ev": "worker_start", "worker": 0, "clock_offset": 1.5},
+        {"t": 0.010, "ev": "ack", "worker": 0, "seq": 1},
+    ])
+    lane, events = load_stream(p)
+    assert lane == "worker0"
+    assert events[0]["t"] == pytest.approx(1.501)
+    assert events[0]["t0"] == pytest.approx(0.001)
+    assert events[1]["t"] == pytest.approx(1.510)
+    assert all(e["lane"] == "worker0" for e in events)
+
+
+def test_merge_orders_causally_across_lanes(tmp_path):
+    # coordinator dispatches at 1.0; the worker's local clock started
+    # 0.9s later, so its local ack at t=0.2 is really at t=1.1
+    d = _dir(
+        tmp_path,
+        [{"t": 0.0, "ev": "sweep_start", "backend": "distributed-process"},
+         {"t": 1.0, "ev": "dispatch", "worker": 0, "seq": 1}],
+        {0: [{"t": 0.0, "ev": "worker_start", "worker": 0,
+              "clock_offset": 0.9},
+             {"t": 0.2, "ev": "ack", "worker": 0, "seq": 1}]},
+    )
+    merged = merge_traces([d])
+    evs = [(e["ev"], e["lane"]) for e in merged]
+    assert evs == [
+        ("sweep_start", "coordinator"),
+        ("worker_start", "worker0"),
+        ("dispatch", "coordinator"),
+        ("ack", "worker0"),
+    ]
+    assert lanes(merged) == ["coordinator", "worker0"]
+
+
+def test_coordinator_wins_timestamp_ties():
+    streams = {
+        "worker1": [{"t": 1.0, "ev": "ack", "lane": "worker1"}],
+        "coordinator": [{"t": 1.0, "ev": "dispatch", "lane": "coordinator"}],
+        "worker0": [{"t": 1.0, "ev": "ack", "lane": "worker0"}],
+    }
+    merged = merge_streams(streams)
+    assert [e["lane"] for e in merged] == ["coordinator", "worker0", "worker1"]
+
+
+def test_single_plain_file_has_no_lane_tags(tmp_path):
+    p = tmp_path / "sweep.jsonl"
+    _write(p, [{"t": 0.0, "ev": "sweep_start"}, {"t": 0.1, "ev": "sweep_end"}])
+    merged = merge_traces([p])
+    assert all("lane" not in e and "t0" not in e for e in merged)
+
+
+def test_merge_is_lenient_about_torn_tails(tmp_path):
+    d = _dir(
+        tmp_path,
+        [{"t": 0.0, "ev": "sweep_start"}],
+        {0: [{"t": 0.0, "ev": "worker_start", "worker": 0,
+              "clock_offset": 0.0}]},
+    )
+    # a SIGKILLed worker ends mid-line: the torn tail is dropped
+    with open(d / worker_stream_name(0), "a") as fh:
+        fh.write('{"t": 0.5, "ev": "ack", "wor')
+    merged = merge_traces([d])
+    assert [e["ev"] for e in merged] == ["sweep_start", "worker_start"]
+
+
+def test_merge_mixes_files_and_directories(tmp_path):
+    d = _dir(tmp_path, [{"t": 0.0, "ev": "sweep_start"}], {})
+    extra = tmp_path / worker_stream_name(1)
+    _write(extra, [{"t": 0.1, "ev": "worker_start", "worker": 1,
+                    "clock_offset": 0.0}])
+    merged = merge_traces([d, extra])
+    assert lanes(merged) == ["coordinator", "worker1"]
+
+
+def test_merge_raises_on_empty_directory(tmp_path):
+    d = tmp_path / "empty"
+    d.mkdir()
+    with pytest.raises(FileNotFoundError):
+        merge_traces([d])

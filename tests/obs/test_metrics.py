@@ -12,6 +12,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
 )
 
 
@@ -94,6 +95,37 @@ def test_render_prometheus_text():
     assert "lat_sum 0.55" in text
     assert "lat_count 2" in text
     assert text.endswith("\n")
+
+
+def test_escape_label_value():
+    assert escape_label_value("plain") == "plain"
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+
+
+def test_render_prometheus_escapes_label_values():
+    """Hostile label values survive exposition; a scraper parses them back.
+
+    The Prometheus text format's own escaping rules: backslash, double
+    quote and newline must be escaped inside quoted label values, or a
+    single path-like or multi-line value corrupts the whole exposition.
+    """
+    reg = MetricsRegistry()
+    reg.counter("files", path='C:\\tmp\\"x"\nnext').inc()
+    text = reg.render_prometheus()
+    line = next(ln for ln in text.splitlines() if ln.startswith("files{"))
+    # one physical line: the newline in the value was escaped away
+    assert line == 'files{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1'
+    # round-trip: un-escaping the quoted value restores the original
+    quoted = line[line.index('="') + 2: line.rindex('"')]
+    restored = (
+        quoted.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\x00", "\\")
+    )
+    assert restored == 'C:\\tmp\\"x"\nnext'
 
 
 def test_null_registry_is_inert_and_shared():

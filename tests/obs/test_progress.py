@@ -1,0 +1,92 @@
+"""ProgressReporter: rate limiting, TTY detection, plain-line fallback."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import NULL_PROGRESS, ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_non_tty_stream_gets_plain_lines():
+    out = io.StringIO()  # StringIO.isatty() is False
+    clock = FakeClock()
+    pr = ProgressReporter(stream=out, interval=0.5, _clock=clock)
+    for _ in range(3):
+        clock.t += 1.0
+        pr.maybe(states=1000, depth=2)
+    pr.done()
+    text = out.getvalue()
+    assert "\r" not in text and "\x1b" not in text
+    assert text.count("[repro] states 1,000 | depth 2\n") == 3
+
+
+def test_tty_stream_rewrites_in_place():
+    out = FakeTTY()
+    clock = FakeClock()
+    pr = ProgressReporter(stream=out, interval=0.5, _clock=clock)
+    for _ in range(2):
+        clock.t += 1.0
+        pr.maybe(states=5)
+    pr.done()
+    text = out.getvalue()
+    assert text.startswith("\r[repro] ")
+    assert "\x1b[K" in text
+    assert text.count("\n") == 1  # only done() terminates the line
+
+
+def test_rate_limit_and_done_idempotent():
+    out = FakeTTY()
+    clock = FakeClock()
+    pr = ProgressReporter(stream=out, interval=10.0, _clock=clock)
+    clock.t = 11.0
+    pr.maybe(states=1)
+    pr.maybe(states=2)  # inside the interval: dropped
+    assert out.getvalue().count("[repro]") == 1
+    pr.done()
+    pr.done()  # second done is a no-op
+    assert out.getvalue().count("\n") == 1
+
+
+def test_non_tty_done_without_output_is_silent():
+    out = io.StringIO()
+    pr = ProgressReporter(stream=out, interval=10.0, _clock=FakeClock())
+    pr.done()
+    assert out.getvalue() == ""
+
+
+def test_stream_without_isatty_defaults_to_plain():
+    class Bare:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, s):
+            self.chunks.append(s)
+
+        def flush(self):
+            pass
+
+    out = Bare()
+    clock = FakeClock()
+    pr = ProgressReporter(stream=out, interval=0.0, _clock=clock)
+    clock.t = 1.0
+    pr.maybe(states=1)
+    assert "".join(out.chunks).endswith("\n")
+
+
+def test_null_progress_is_inert():
+    assert NULL_PROGRESS.enabled is False
+    NULL_PROGRESS.maybe(states=1)
+    NULL_PROGRESS.done()

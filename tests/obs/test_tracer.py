@@ -82,3 +82,42 @@ def test_null_tracer_is_inert():
     NULL_TRACER.emit("anything", x=1)
     assert NULL_TRACER.events() == []
     NULL_TRACER.close()  # no-op, no error
+
+
+def test_read_trace_lenient_drops_torn_tail(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"t": 0.1, "ev": "a"}\n{"t": 0.2, "ev": "b')
+    assert [e["ev"] for e in read_trace(path, lenient=True)] == ["a"]
+
+
+def test_file_mode_survives_sigkill(tmp_path):
+    """Line buffering means a killed process loses at most one line.
+
+    The crash-safety contract of the per-worker streams: SIGKILL the
+    writer mid-stream (no close, no atexit, no flush) and every event
+    emitted before the kill must already be on disk.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    import repro
+
+    path = tmp_path / "crash.jsonl"
+    prog = (
+        "import os, signal\n"
+        "from repro.obs.tracer import Tracer\n"
+        f"tr = Tracer({str(path)!r})\n"
+        "for i in range(100):\n"
+        "    tr.emit('tick', i=i)\n"
+        "os.kill(os.getpid(), signal.SIGKILL)\n"
+    )
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    proc = subprocess.run(
+        [sys.executable, "-c", prog],
+        env={**os.environ, "PYTHONPATH": src},
+    )
+    assert proc.returncode == -signal.SIGKILL
+    events = read_trace(path, lenient=True)
+    assert [e["i"] for e in events] == list(range(100))

@@ -484,3 +484,119 @@ def test_bench_report_embeds_phases_and_metrics(tmp_path):
     assert phases["total_s"] > 0
     assert report["metrics"]["repro_sweep_states_total"] == \
         report["system"]["states"]
+
+
+# -- flight recorder v2 (--trace-dir / merged report / memory gate) ----------
+
+
+def test_explore_distributed_trace_dir_and_merged_report(tmp_path, capsys):
+    """The acceptance scenario: a distributed sweep with --trace-dir
+    leaves one stream per process and `repro report <dir>` renders the
+    merged timeline with every worker's lane."""
+    td = tmp_path / "td"
+    code = main([
+        "explore", "--config", "1", "--distributed", "--workers", "2",
+        "--transport", "shm", "--trace-dir", str(td),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "workers" in captured.out
+    assert f"written: {td}" in captured.err
+    names = sorted(p.name for p in td.iterdir())
+    assert names == [
+        "trace.coordinator.jsonl", "trace.worker0.jsonl",
+        "trace.worker1.jsonl",
+    ]
+
+    code = main(["report", str(td)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "3 stream(s): coordinator, worker0, worker1" in out
+    assert "worker lanes:" in out
+    assert "dispatch->ack latency:" in out
+    assert "memory: max RSS" in out
+
+
+def test_trace_and_trace_dir_are_mutually_exclusive(tmp_path, capsys):
+    code = main([
+        "explore", "--config", "1",
+        "--trace", str(tmp_path / "t.jsonl"),
+        "--trace-dir", str(tmp_path / "td"),
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "mutually exclusive" in err
+
+
+def test_report_merges_multiple_files(tmp_path, capsys):
+    import json
+
+    coord = tmp_path / "trace.coordinator.jsonl"
+    coord.write_text(json.dumps(
+        {"t": 0.0, "ev": "sweep_start", "backend": "distributed-process",
+         "n_workers": 1}) + "\n")
+    worker = tmp_path / "trace.worker0.jsonl"
+    worker.write_text(json.dumps(
+        {"t": 0.0, "ev": "worker_start", "worker": 0,
+         "clock_offset": 0.1}) + "\n")
+    code = main(["report", str(coord), str(worker)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 stream(s): coordinator, worker0" in out
+
+
+def test_report_lenient_renders_torn_trace(tmp_path, capsys):
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text(
+        '{"t": 0.0, "ev": "sweep_start", "backend": "engine"}\n'
+        '{"t": 0.1, "ev": "sweep_end", "outc'
+    )
+    assert main(["report", str(torn)]) == 2  # strict by default
+    capsys.readouterr()
+    code = main(["report", "--lenient", str(torn)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep 1: engine" in out
+
+
+def test_report_empty_trace_renders(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code = main(["report", str(empty)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 sweep(s), 0 events" in out
+
+
+def test_mem_pressure_events_recorded(tmp_path):
+    from repro.obs.tracer import read_trace
+
+    trace = tmp_path / "t.jsonl"
+    code = main([
+        "explore", "--config", "1", "--trace", str(trace),
+        "--mem-pressure-mb", "1",  # any CPython is over 1 MiB RSS
+    ])
+    assert code == 0
+    events = read_trace(trace)
+    assert any(e["ev"] == "mem_pressure" for e in events)
+    end = [e for e in events if e["ev"] == "sweep_end"][-1]
+    assert end["mem_pressure_events"] >= 1
+    assert end["max_rss_bytes"] > 0
+
+
+def test_bench_max_rss_gate_cli(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "B.json"
+    code = main([
+        "bench", "--config", "1", "--rounds", "1",
+        "--backends", "serial,engine", "--out", str(out),
+        "--max-rss-mb", "1",  # deliberately impossible cap
+    ])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "RSS watermark" in err and "--max-rss-mb" in err
+    report = json.loads(out.read_text())
+    for name in ("serial", "engine"):
+        assert report["backends"][name]["max_rss_bytes"] > 0
+        assert report["backends"][name]["mem"]["watermarks"]
